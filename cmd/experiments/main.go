@@ -1,0 +1,43 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 5) on the simulated cluster.
+//
+// Usage:
+//
+//	experiments              # run everything, paper order
+//	experiments -run table3  # one experiment
+//	experiments -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ic2mpi/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	run := flag.String("run", "", "experiment ID (e.g. table7, fig12); empty runs all")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+	}
+}

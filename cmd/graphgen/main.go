@@ -1,0 +1,62 @@
+// Command graphgen generates application program graphs in Chaco format:
+// the hexagonal grids, random graphs and battlefield meshes of the paper's
+// evaluation, ready to feed to cmd/ic2mpi or cmd/partgraph.
+//
+// Usage:
+//
+//	graphgen -kind hex -rows 8 -cols 8 > hex64.graph
+//	graphgen -kind random -n 64 -p 0.065 -seed 6401 > rand64.graph
+//	graphgen -kind battlefield > bf.graph
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"ic2mpi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+
+	kind := flag.String("kind", "hex", "graph kind: hex, random, battlefield")
+	rows := flag.Int("rows", 8, "hex grid rows")
+	cols := flag.Int("cols", 8, "hex grid columns")
+	n := flag.Int("n", 64, "random graph size")
+	p := flag.Float64("p", 0.065, "random graph extra-edge probability")
+	seed := flag.Int64("seed", 6401, "random graph seed")
+	code := flag.Int("fmt", 0, "Chaco fmt code: 0 plain, 1 edge weights, 10 vertex weights, 11 both")
+	coordsPath := flag.String("coords", "", "also write a coordinates sidecar file to this path (hex/battlefield kinds)")
+	flag.Parse()
+
+	var g *ic2mpi.Graph
+	var err error
+	switch *kind {
+	case "hex":
+		g, err = ic2mpi.HexGrid(*rows, *cols)
+	case "random":
+		g, err = ic2mpi.RandomGraph(*n, *p, *seed)
+	case "battlefield":
+		g, err = ic2mpi.HexGrid(32, 32)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ic2mpi.WriteChaco(os.Stdout, g, *code); err != nil {
+		log.Fatal(err)
+	}
+	if *coordsPath != "" {
+		f, err := os.Create(*coordsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := ic2mpi.WriteCoords(f, g); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

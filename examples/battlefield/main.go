@@ -1,0 +1,87 @@
+// Command battlefield runs the time-stepped battlefield management
+// simulation (Section 2.2 of the thesis) on the iC2mpi platform under all
+// five static partitioning schemes of the evaluation and reports execution
+// times, speedups and the battle outcome.
+//
+// Usage:
+//
+//	go run ./examples/battlefield [-steps N] [-procs P]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ic2mpi"
+	"ic2mpi/internal/battlefield"
+)
+
+func main() {
+	steps := flag.Int("steps", 25, "simulation time steps")
+	procs := flag.Int("procs", 8, "virtual processors for the outcome report")
+	flag.Parse()
+
+	sc := battlefield.DefaultScenario()
+	terrain, err := sc.Terrain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d steps\n\n", terrain.Name, *steps)
+
+	partitioners := []ic2mpi.Partitioner{
+		ic2mpi.NewMetis(1),
+		ic2mpi.BFPartition(),
+		ic2mpi.RowBand(),
+		ic2mpi.ColumnBand(),
+		ic2mpi.RectBand(),
+	}
+
+	fmt.Printf("%-14s", "partitioner")
+	sweep := []int{1, 2, 4, 8, 16}
+	for _, p := range sweep {
+		fmt.Printf("%10d", p)
+	}
+	fmt.Println(" (execution time, s)")
+	for _, pt := range partitioners {
+		fmt.Printf("%-14s", pt.Name())
+		for _, p := range sweep {
+			res := runOnce(sc, terrain, pt, p, *steps, true)
+			fmt.Printf("%10.3f", res.Elapsed)
+		}
+		fmt.Println()
+	}
+
+	// Battle outcome under the best partitioner, with final data gathered.
+	res := runOnce(sc, terrain, partitioners[0], *procs, *steps, false)
+	sum, err := battlefield.Summarize(res.FinalData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOutcome after %d steps on %d processors (Metis partition):\n", *steps, *procs)
+	fmt.Printf("  red:  %4d units, strength %6d, destroyed %6d enemy strength\n",
+		sum.Units[battlefield.Red], sum.Strength[battlefield.Red], sum.Destroyed[battlefield.Red])
+	fmt.Printf("  blue: %4d units, strength %6d, destroyed %6d enemy strength\n",
+		sum.Units[battlefield.Blue], sum.Strength[battlefield.Blue], sum.Destroyed[battlefield.Blue])
+}
+
+func runOnce(sc battlefield.Scenario, terrain *ic2mpi.Graph, pt ic2mpi.Partitioner, procs, steps int, skipGather bool) *ic2mpi.Result {
+	part, err := pt.Partition(terrain, nil, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ic2mpi.Run(ic2mpi.Config{
+		Graph:            terrain,
+		Procs:            procs,
+		InitialPartition: part,
+		InitData:         sc.InitData(),
+		Node:             sc.NodeFunc(battlefield.DefaultCost()),
+		Iterations:       steps,
+		SubPhases:        2, // intent + resolve rounds per time step
+		SkipFinalGather:  skipGather,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

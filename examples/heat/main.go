@@ -1,0 +1,118 @@
+// Command heat parallelizes a 2-D heat diffusion solver — a classic
+// mesh-structured iterative computation of the kind the thesis' Section 1
+// motivates (difference equations, finite element methods) — on the
+// iC2mpi platform, demonstrating a user-defined NodeData type beyond plain
+// integers.
+//
+// The domain is a hex mesh with a hot spot in one corner and a cold spot
+// in the opposite corner; each node relaxes toward the mean of its
+// neighbors. The example verifies the distributed run against the
+// sequential reference and reports the residual over time.
+//
+// Usage:
+//
+//	go run ./examples/heat [-rows 16] [-cols 16] [-iters 100] [-procs 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"ic2mpi"
+)
+
+// Temp is the user-supplied node data: a temperature in fixed-point
+// micro-kelvins so results are exact across executions (the platform
+// compares distributed and sequential runs bitwise).
+type Temp int64
+
+// CloneData implements ic2mpi.NodeData.
+func (t Temp) CloneData() ic2mpi.NodeData { return t }
+
+// SizeBytes implements ic2mpi.NodeData.
+func (t Temp) SizeBytes() int { return 8 }
+
+func main() {
+	rows := flag.Int("rows", 16, "mesh rows")
+	cols := flag.Int("cols", 16, "mesh columns")
+	iters := flag.Int("iters", 100, "relaxation iterations")
+	procs := flag.Int("procs", 8, "virtual processors")
+	flag.Parse()
+
+	g, err := ic2mpi.HexGrid(*rows, *cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NumVertices()
+	hot, cold := ic2mpi.NodeID(0), ic2mpi.NodeID(n-1)
+
+	initData := func(id ic2mpi.NodeID) ic2mpi.NodeData {
+		switch id {
+		case hot:
+			return Temp(1_000_000) // 1.0 in micro-units
+		case cold:
+			return Temp(-1_000_000)
+		default:
+			return Temp(0)
+		}
+	}
+	// Dirichlet boundary at the hot/cold spots; everything else relaxes to
+	// the neighbor mean.
+	node := func(id ic2mpi.NodeID, iter, sub int, self ic2mpi.NodeData, nbrs []ic2mpi.Neighbor) (ic2mpi.NodeData, float64) {
+		if id == hot || id == cold {
+			return self, 0.1e-3
+		}
+		var sum int64
+		for _, nb := range nbrs {
+			sum += int64(nb.Data.(Temp))
+		}
+		return Temp(sum / int64(len(nbrs))), 0.1e-3
+	}
+
+	part, err := ic2mpi.NewMetis(7).Partition(g, nil, *procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ic2mpi.Config{
+		Graph:            g,
+		Procs:            *procs,
+		InitialPartition: part,
+		InitData:         initData,
+		Node:             node,
+		Iterations:       *iters,
+	}
+	res, err := ic2mpi.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := ic2mpi.RunSequential(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := range want {
+		if res.FinalData[v] != want[v] {
+			log.Fatalf("node %d: distributed %v != sequential %v", v, res.FinalData[v], want[v])
+		}
+	}
+
+	// Report the temperature field statistics.
+	var min, max, mean float64
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, d := range res.FinalData {
+		t := float64(d.(Temp)) / 1e6
+		mean += t
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	mean /= float64(n)
+	fmt.Printf("%dx%d hex mesh, %d iterations on %d processors: %.4fs (virtual)\n",
+		*rows, *cols, *iters, *procs, res.Elapsed)
+	fmt.Printf("temperature field: min=%.4f max=%.4f mean=%.4f\n", min, max, mean)
+	fmt.Println("distributed result verified bit-identical to the sequential reference")
+}

@@ -1,0 +1,221 @@
+// Package ic2mpi is a platform for parallel execution of graph-structured
+// iterative computations — a from-scratch Go reproduction of the iC2mpi
+// system (Botadra, Georgia State University, 2006; IPPS 2007 workshop
+// version).
+//
+// The platform parallelizes applications whose state lives on the nodes of
+// a fixed graph and whose per-iteration node update depends only on the
+// node and its neighbors: time-stepped simulations, mesh codes, cellular
+// automata. A user plugs in three things and writes no message-passing
+// code at all:
+//
+//   - the application program graph (ic2mpi.Graph, typically from a
+//     generator or a Chaco-format file),
+//   - the node data structure (any type implementing NodeData),
+//   - the node computation function (NodeFunc).
+//
+// Static partitioners (a Metis-style multilevel partitioner, a
+// PaGrid-style network-aware mapper, geometric band partitioners, a
+// gray-code mesh-to-hypercube embedding) and dynamic load balancers (the
+// thesis' centralized 25%-threshold heuristic) are pluggable, making the
+// platform a test bed for partitioning and load-balancing research —
+// exactly the role the paper proposes.
+//
+// Execution runs on an in-process SPMD message-passing runtime with
+// deterministic virtual time, so 16-processor speedup experiments
+// reproduce bit-for-bit on any host; see DESIGN.md for the substitution
+// rationale.
+//
+// Quick start:
+//
+//	g, _ := ic2mpi.HexGrid(8, 8)
+//	part, _ := ic2mpi.NewMetis(1).Partition(g, nil, 4)
+//	res, _ := ic2mpi.Run(ic2mpi.Config{
+//		Graph:            g,
+//		Procs:            4,
+//		InitialPartition: part,
+//		InitData:         func(id ic2mpi.NodeID) ic2mpi.NodeData { return ic2mpi.IntData(int64(id)) },
+//		Node: func(id ic2mpi.NodeID, iter, sub int, self ic2mpi.NodeData, nbrs []ic2mpi.Neighbor) (ic2mpi.NodeData, float64) {
+//			sum := int64(self.(ic2mpi.IntData))
+//			for _, nb := range nbrs {
+//				sum += int64(nb.Data.(ic2mpi.IntData))
+//			}
+//			return ic2mpi.IntData(sum / int64(len(nbrs)+1)), 0.3e-3
+//		},
+//		Iterations: 20,
+//	})
+package ic2mpi
+
+import (
+	"io"
+
+	"ic2mpi/internal/balance"
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
+	"ic2mpi/internal/partition"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/topology"
+	"ic2mpi/internal/vtime"
+)
+
+// Core platform types, re-exported from the internal implementation.
+type (
+	// NodeID identifies a vertex of the application program graph.
+	NodeID = graph.NodeID
+	// Graph is the application program graph.
+	Graph = graph.Graph
+	// Coord is a planar hex/mesh coordinate attached to graph vertices.
+	Coord = graph.Coord
+	// NodeData is the user-supplied per-node state.
+	NodeData = platform.NodeData
+	// IntData is a ready-made integer NodeData.
+	IntData = platform.IntData
+	// Neighbor pairs a neighbor ID with its previous-iteration data.
+	Neighbor = platform.Neighbor
+	// NodeFunc is the application node computation function.
+	NodeFunc = platform.NodeFunc
+	// Config describes one platform run.
+	Config = platform.Config
+	// Result reports one platform run.
+	Result = platform.Result
+	// Phase identifies one of the six instrumented platform phases.
+	Phase = platform.Phase
+	// OverheadModel prices the platform's bookkeeping for virtual time.
+	OverheadModel = platform.OverheadModel
+	// Balancer is the dynamic load balancer plug-in interface.
+	Balancer = platform.Balancer
+	// Pair is one busy/idle processor pair chosen by a balancer.
+	Pair = platform.Pair
+	// ProcGraph is the weighted processor graph handed to balancers.
+	ProcGraph = platform.ProcGraph
+	// Partitioner is the static graph partitioner plug-in interface.
+	Partitioner = partition.Partitioner
+	// PartitionQuality reports edge-cut and balance of a partition.
+	PartitionQuality = partition.Quality
+	// Network is a weighted processor network graph (speeds + link costs).
+	Network = topology.Network
+	// CostModel is the virtual-time communication cost model.
+	CostModel = vtime.CostModel
+)
+
+// Platform phase identifiers (Figures 21-22 of the paper).
+const (
+	PhaseInit            = platform.PhaseInit
+	PhaseComputeOverhead = platform.PhaseComputeOverhead
+	PhaseCompute         = platform.PhaseCompute
+	PhaseCommOverhead    = platform.PhaseCommOverhead
+	PhaseCommunicate     = platform.PhaseCommunicate
+	PhaseLoadBalance     = platform.PhaseLoadBalance
+	NumPhases            = platform.NumPhases
+)
+
+// Run executes the platform on cfg and blocks until every virtual
+// processor finishes.
+func Run(cfg Config) (*Result, error) { return platform.Run(cfg) }
+
+// RunSequential executes the same iterative computation in a single
+// address space — the reference implementation distributed runs are
+// verified against.
+func RunSequential(cfg Config) ([]NodeData, error) { return platform.RunSequential(cfg) }
+
+// DefaultOverheads returns the bookkeeping cost model calibrated against
+// the paper's overhead measurements (Figures 21-22).
+func DefaultOverheads() OverheadModel { return platform.DefaultOverheads() }
+
+// Origin2000 returns the communication cost model calibrated against the
+// paper's SGI Origin 2000 testbed.
+func Origin2000() CostModel { return vtime.Origin2000() }
+
+// Graph construction.
+
+// HexGrid returns a rows x cols hexagonal grid (odd-r offset coordinates,
+// up to six neighbors per cell).
+func HexGrid(rows, cols int) (*Graph, error) { return graph.HexGrid(rows, cols) }
+
+// RandomGraph returns a connected random graph with n vertices, extra-edge
+// probability p and a deterministic seed.
+func RandomGraph(n int, p float64, seed int64) (*Graph, error) { return graph.Random(n, p, seed) }
+
+// ReadChaco parses an application program graph in the Chaco/Metis file
+// format the thesis feeds to its partitioners.
+func ReadChaco(r io.Reader) (*Graph, error) { return graph.ReadChaco(r) }
+
+// WriteChaco writes a graph in Chaco format. code is the Chaco fmt field:
+// 0 plain, 1 edge weights, 10 vertex weights, 11 both.
+func WriteChaco(w io.Writer, g *Graph, code int) error {
+	return graph.WriteChaco(w, g, graph.FmtCode(code))
+}
+
+// Static partitioners.
+
+// NewMetis returns the Metis-style multilevel k-way partitioner.
+func NewMetis(seed int64) Partitioner { return &partition.Multilevel{Seed: seed} }
+
+// NewPaGrid returns the PaGrid-style network-aware mapper. rref is the
+// communication/computation ratio; the paper uses 0.45.
+func NewPaGrid(rref float64, seed int64) Partitioner {
+	return &partition.PaGrid{Rref: rref, Seed: seed}
+}
+
+// RowBand returns the horizontal band partitioner (requires coordinates).
+func RowBand() Partitioner { return partition.RowBand{} }
+
+// ColumnBand returns the vertical band partitioner.
+func ColumnBand() Partitioner { return partition.ColumnBand{} }
+
+// RectBand returns the rectangular tile partitioner.
+func RectBand() Partitioner { return partition.RectBand{} }
+
+// BFPartition returns the fine-grained gray-code mesh-to-hypercube
+// embedding of the original battlefield simulator.
+func BFPartition() Partitioner { return partition.BFGrayCode{} }
+
+// RCB returns the recursive-coordinate-bisection geometric partitioner.
+func RCB() Partitioner { return partition.RCB{} }
+
+// ReadCoords parses a Chaco-style coordinates sidecar file with one
+// "row col" line per vertex.
+func ReadCoords(r io.Reader, n int) ([]Coord, error) { return graph.ReadCoords(r, n) }
+
+// WriteCoords writes a graph's coordinates in the sidecar format.
+func WriteCoords(w io.Writer, g *Graph) error { return graph.WriteCoords(w, g) }
+
+// AttachHexCoords assigns row-major hex-grid coordinates to a graph read
+// from a Chaco file, enabling the geometric partitioners.
+func AttachHexCoords(g *Graph, rows, cols int) error { return graph.AttachHexCoords(g, rows, cols) }
+
+// EvaluatePartition reports the edge-cut and balance of a partition.
+func EvaluatePartition(g *Graph, part []int, k int) (PartitionQuality, error) {
+	return partition.Evaluate(g, part, k)
+}
+
+// Processor networks.
+
+// Hypercube returns a homogeneous hypercube processor network (link cost =
+// Hamming distance), the paper's Origin 2000 interconnect model.
+func Hypercube(procs int) (*Network, error) { return topology.Hypercube(procs) }
+
+// HeterogeneousGrid returns a two-cluster computational grid with slow
+// processors and expensive wide-area links, the environment PaGrid
+// targets.
+func HeterogeneousGrid(procs int, slowFactor, wanCost float64) (*Network, error) {
+	return topology.HeterogeneousGrid(procs, slowFactor, wanCost)
+}
+
+// Dynamic load balancing.
+
+// NewCentralizedBalancer returns the thesis' centralized heuristic with
+// the given busy threshold (0 means the paper's 25%). strict selects the
+// literal all-neighbors rule of the thesis' C code; the default relaxed
+// rule compares against the least-loaded neighbor, which behaves better
+// under deterministic clocks (see the balance package documentation).
+func NewCentralizedBalancer(threshold float64, strict bool) Balancer {
+	return &balance.CentralizedHeuristic{Threshold: threshold, StrictAllNeighbors: strict}
+}
+
+// RealClock selects wall-clock execution for Config.Mode; the default is
+// deterministic virtual time.
+const RealClock = mpi.RealClock
+
+// VirtualClock is the default deterministic execution mode.
+const VirtualClock = mpi.VirtualClock

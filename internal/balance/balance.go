@@ -1,0 +1,190 @@
+// Package balance implements dynamic load balancers pluggable into the
+// iC2mpi platform. The primary implementation is the thesis' centralized
+// heuristic (Section 4.3, GetLoadRebalancingParameters in Appendix C): a
+// designated processor examines the weighted processor network graph,
+// labels a processor "busy" when it has done at least Threshold more work
+// than every neighbor, pairs it with its least-loaded neighbor, and hands
+// the busy/idle pairs to the platform's task migration routine.
+package balance
+
+import (
+	"fmt"
+	"math"
+
+	"ic2mpi/internal/platform"
+)
+
+// CentralizedHeuristic is the thesis' dynamic load balancer. The zero
+// value uses the paper's 25% threshold with the relaxed busy rule (see
+// StrictAllNeighbors).
+type CentralizedHeuristic struct {
+	// Threshold is the minimum relative overload for a processor to count
+	// as busy; 0.25 (the paper's "25% more work") when zero or negative.
+	Threshold float64
+	// StrictAllNeighbors selects the literal rule of the thesis' C code: a
+	// processor is busy only when it exceeds EVERY communicating neighbor
+	// by the threshold. Under this simulator's noise-free virtual clocks
+	// that rule deadlocks on plateaus of equally-overloaded processors
+	// (they block each other and nobody migrates), a tie the original
+	// escaped only through real-hardware timing jitter. The default
+	// (false) uses the relaxed rule — busy when exceeding the *least
+	// loaded* communicating neighbor by the threshold — which preserves
+	// the paper's behaviour ("dynamic load balancing is better, even for
+	// finer grained grids") on deterministic clocks.
+	StrictAllNeighbors bool
+}
+
+// Name implements platform.Balancer.
+func (b *CentralizedHeuristic) Name() string { return "Centralized Heuristic" }
+
+func (b *CentralizedHeuristic) threshold() float64 {
+	if b.Threshold <= 0 {
+		return 0.25
+	}
+	return b.Threshold
+}
+
+// Plan implements platform.Balancer. For every processor i that is
+// connected to at least one other processor and whose computation time
+// exceeds every connected neighbor's by the threshold, it emits the pair
+// (i, argmin-time neighbor). Pairs are sanitized so no processor is busy
+// twice and no busy processor doubles as another pair's idle target, the
+// structural rules of Table 1.
+func (b *CentralizedHeuristic) Plan(pg platform.ProcGraph) []platform.Pair {
+	p := len(pg.Times)
+	if p < 2 || len(pg.Comm) != p {
+		return nil
+	}
+	rel := RelativeLoads(pg)
+	thr := b.threshold() * 100
+	var pairs []platform.Pair
+	busySet := make(map[int]bool)
+	for i := 0; i < p; i++ {
+		neighbors := 0
+		allOver := true
+		idle, idleTime := -1, math.Inf(1)
+		for j := 0; j < p; j++ {
+			if i == j || pg.Comm[i][j] <= 0 {
+				continue
+			}
+			neighbors++
+			if b.StrictAllNeighbors && rel[i][j] < thr {
+				allOver = false
+				break
+			}
+			if pg.Times[j] < idleTime {
+				idle, idleTime = j, pg.Times[j]
+			}
+		}
+		if neighbors == 0 || !allOver || idle == -1 {
+			continue
+		}
+		// Relaxed rule: overload measured against the least loaded
+		// communicating neighbor.
+		if !b.StrictAllNeighbors && rel[i][idle] < thr {
+			continue
+		}
+		pairs = append(pairs, platform.Pair{Busy: i, Idle: idle})
+		busySet[i] = true
+	}
+	// A busy processor can never be another pair's idle side: by the
+	// threshold rule its time exceeds all its neighbors', so it cannot be
+	// the minimum-time neighbor of a busy neighbor — but guard anyway for
+	// degenerate inputs (equal times with zero threshold).
+	out := pairs[:0]
+	for _, pr := range pairs {
+		if !busySet[pr.Idle] {
+			out = append(out, pr)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// RelativeLoads builds the thesis' relative_proc_load matrix in percent:
+// rel[i][j] = (t_i - t_j) / t_j * 100 when processors i and j communicate
+// and t_i > t_j, else 0. A zero-time neighbor of a loaded processor yields
+// +Inf (the C original would divide by zero; the platform treats it as an
+// arbitrarily large imbalance).
+func RelativeLoads(pg platform.ProcGraph) [][]float64 {
+	p := len(pg.Times)
+	rel := make([][]float64, p)
+	for i := range rel {
+		rel[i] = make([]float64, p)
+		for j := 0; j < p; j++ {
+			if i == j || pg.Comm[i][j] <= 0 || pg.Times[i] <= pg.Times[j] {
+				continue
+			}
+			if pg.Times[j] <= 0 {
+				rel[i][j] = math.Inf(1)
+				continue
+			}
+			rel[i][j] = (pg.Times[i] - pg.Times[j]) / pg.Times[j] * 100
+		}
+	}
+	return rel
+}
+
+// Never is a balancer that never migrates; plugging it in exercises the
+// dynamic-balancing code path with a guaranteed-empty plan.
+type Never struct{}
+
+// Name implements platform.Balancer.
+func (Never) Name() string { return "Never" }
+
+// Plan implements platform.Balancer.
+func (Never) Plan(platform.ProcGraph) []platform.Pair { return nil }
+
+// Static is a scripted balancer for tests: it returns the queued plans in
+// order, one per invocation.
+type Static struct {
+	Plans [][]platform.Pair
+	call  int
+}
+
+// Name implements platform.Balancer.
+func (s *Static) Name() string { return "Static Script" }
+
+// Plan implements platform.Balancer.
+func (s *Static) Plan(platform.ProcGraph) []platform.Pair {
+	if s.call >= len(s.Plans) {
+		return nil
+	}
+	p := s.Plans[s.call]
+	s.call++
+	return p
+}
+
+// Validate checks a processor graph for structural sanity; the platform
+// already guarantees these properties, so this is exported mainly for
+// third-party balancer authors' tests.
+func Validate(pg platform.ProcGraph) error {
+	p := len(pg.Times)
+	if len(pg.Comm) != p {
+		return fmt.Errorf("balance: Comm has %d rows for %d processors", len(pg.Comm), p)
+	}
+	for i := range pg.Comm {
+		if len(pg.Comm[i]) != p {
+			return fmt.Errorf("balance: Comm row %d has %d entries", i, len(pg.Comm[i]))
+		}
+		if pg.Comm[i][i] != 0 {
+			return fmt.Errorf("balance: Comm diagonal %d nonzero", i)
+		}
+		for j := range pg.Comm[i] {
+			if pg.Comm[i][j] != pg.Comm[j][i] {
+				return fmt.Errorf("balance: Comm asymmetric at (%d,%d)", i, j)
+			}
+			if pg.Comm[i][j] < 0 {
+				return fmt.Errorf("balance: Comm negative at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i, t := range pg.Times {
+		if t < 0 || math.IsNaN(t) {
+			return fmt.Errorf("balance: time %d invalid: %g", i, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package balance
+
+import (
+	"sort"
+
+	"ic2mpi/internal/platform"
+)
+
+// Diffusion is a Jostle-style diffusive load balancer [WC01], provided as
+// a second third-party plug-in to demonstrate the platform's role as a
+// load-balancing test bed (Goal 3 of the paper). Instead of the
+// centralized heuristic's busy/idle classification against neighbors, it
+// compares every processor against the global mean load and pairs the most
+// overloaded processors with their least-loaded communicating neighbors —
+// load diffuses along the processor graph's edges.
+type Diffusion struct {
+	// Tolerance is the relative overload versus the mean that triggers
+	// migration (default 0.10).
+	Tolerance float64
+	// MaxPairs bounds the number of pairs per invocation (default: no
+	// bound beyond one per overloaded processor).
+	MaxPairs int
+}
+
+// Name implements platform.Balancer.
+func (d *Diffusion) Name() string { return "Diffusion" }
+
+func (d *Diffusion) tolerance() float64 {
+	if d.Tolerance <= 0 {
+		return 0.10
+	}
+	return d.Tolerance
+}
+
+// Plan implements platform.Balancer.
+func (d *Diffusion) Plan(pg platform.ProcGraph) []platform.Pair {
+	p := len(pg.Times)
+	if p < 2 || len(pg.Comm) != p {
+		return nil
+	}
+	mean := 0.0
+	for _, t := range pg.Times {
+		mean += t
+	}
+	mean /= float64(p)
+	if mean <= 0 {
+		return nil
+	}
+	// Consider processors in decreasing overload order so the most loaded
+	// get first pick of idle targets.
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if pg.Times[order[a]] != pg.Times[order[b]] {
+			return pg.Times[order[a]] > pg.Times[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	threshold := mean * (1 + d.tolerance())
+	busySet := map[int]bool{}
+	idleSet := map[int]bool{}
+	var pairs []platform.Pair
+	for _, i := range order {
+		if pg.Times[i] <= threshold {
+			break // sorted: nobody further is overloaded
+		}
+		if idleSet[i] {
+			continue // already receiving this round
+		}
+		// Least-loaded communicating neighbor below the mean, not already
+		// busy or taken.
+		idle := -1
+		for j := 0; j < p; j++ {
+			if j == i || pg.Comm[i][j] <= 0 || busySet[j] || idleSet[j] {
+				continue
+			}
+			if pg.Times[j] >= mean {
+				continue
+			}
+			if idle == -1 || pg.Times[j] < pg.Times[idle] {
+				idle = j
+			}
+		}
+		if idle == -1 {
+			continue
+		}
+		pairs = append(pairs, platform.Pair{Busy: i, Idle: idle})
+		busySet[i] = true
+		idleSet[idle] = true
+		if d.MaxPairs > 0 && len(pairs) >= d.MaxPairs {
+			break
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,384 @@
+package battlefield
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/vtime"
+)
+
+func smallScenario() Scenario {
+	return Scenario{
+		Rows: 8, Cols: 8,
+		UnitsPerHex:    2,
+		DeploymentRows: 2,
+		MinStrength:    5,
+		MaxStrength:    15,
+		Seed:           42,
+	}
+}
+
+func runConfig(t *testing.T, sc Scenario, procs, steps int, part []int) platform.Config {
+	t.Helper()
+	terrain, err := sc.Terrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part == nil {
+		part = make([]int, terrain.NumVertices())
+		for v := range part {
+			part[v] = v * procs / terrain.NumVertices()
+		}
+	}
+	return platform.Config{
+		Graph:            terrain,
+		Procs:            procs,
+		InitialPartition: part,
+		InitData:         sc.InitData(),
+		Node:             sc.NodeFunc(DefaultCost()),
+		Iterations:       steps,
+		SubPhases:        2,
+		Cost:             vtime.Origin2000(),
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if err := DefaultScenario().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultScenario()
+	bad.Rows = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("1-row terrain accepted")
+	}
+	bad = DefaultScenario()
+	bad.DeploymentRows = 20
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping deployments accepted")
+	}
+	bad = DefaultScenario()
+	bad.MinStrength = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero strength accepted")
+	}
+	bad = DefaultScenario()
+	bad.MaxStrength = bad.MinStrength - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted strength range accepted")
+	}
+}
+
+func TestTerrainShape(t *testing.T) {
+	sc := DefaultScenario()
+	g, err := sc.Terrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("terrain has %d hexes, want 1024", g.NumVertices())
+	}
+	if g.Coords == nil {
+		t.Fatal("terrain lacks coordinates (band partitioners need them)")
+	}
+}
+
+func TestInitDataDeployments(t *testing.T) {
+	sc := smallScenario()
+	init := sc.InitData()
+	for v := 0; v < sc.Rows*sc.Cols; v++ {
+		h := init(graph.NodeID(v)).(*HexData)
+		r := v / sc.Cols
+		switch {
+		case r < sc.DeploymentRows:
+			if len(h.Units) != sc.UnitsPerHex {
+				t.Fatalf("red hex %d has %d units", v, len(h.Units))
+			}
+			for _, u := range h.Units {
+				if u.Side != Red {
+					t.Fatalf("red zone hex %d holds %v unit", v, u.Side)
+				}
+				if u.Strength < sc.MinStrength || u.Strength > sc.MaxStrength {
+					t.Fatalf("unit strength %d out of range", u.Strength)
+				}
+			}
+		case r >= sc.Rows-sc.DeploymentRows:
+			for _, u := range h.Units {
+				if u.Side != Blue {
+					t.Fatalf("blue zone hex %d holds %v unit", v, u.Side)
+				}
+			}
+		default:
+			if len(h.Units) != 0 {
+				t.Fatalf("no-man's-land hex %d has %d units", v, len(h.Units))
+			}
+		}
+	}
+	// Deterministic across invocations.
+	a := init(5).(*HexData)
+	b := init(5).(*HexData)
+	for i := range a.Units {
+		if a.Units[i] != b.Units[i] {
+			t.Fatal("InitData not deterministic")
+		}
+	}
+}
+
+func TestHexDataCloneDeep(t *testing.T) {
+	h := &HexData{Units: []Unit{{ID: 1, Side: Red, Strength: 5}}}
+	h.Out[2] = []Unit{{ID: 2, Side: Blue, Strength: 3}}
+	c := h.CloneData().(*HexData)
+	c.Units[0].Strength = 99
+	c.Out[2][0].Strength = 99
+	if h.Units[0].Strength == 99 || h.Out[2][0].Strength == 99 {
+		t.Fatal("CloneData shares memory")
+	}
+	if h.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive")
+	}
+}
+
+func TestSequentialBattleProgression(t *testing.T) {
+	sc := smallScenario()
+	cfg := runConfig(t, sc, 1, 0, nil)
+
+	// Initial totals.
+	initData := make([]platform.NodeData, cfg.Graph.NumVertices())
+	for v := range initData {
+		initData[v] = cfg.InitData(graph.NodeID(v))
+	}
+	start, err := Summarize(initData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start.Units[Red] == 0 || start.Units[Blue] == 0 {
+		t.Fatal("armies not deployed")
+	}
+
+	cfg.Iterations = 20
+	final, err := platform.RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := Summarize(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: strength only decreases, and the decrease equals the
+	// total destroyed bookkeeping.
+	for s := Side(0); s <= 1; s++ {
+		if end.Strength[s] > start.Strength[s] {
+			t.Fatalf("%v strength grew: %d -> %d", s, start.Strength[s], end.Strength[s])
+		}
+		lost := start.Strength[s] - end.Strength[s]
+		if lost != end.Destroyed[s.Enemy()] {
+			t.Fatalf("%v lost %d strength but enemy recorded %d destroyed", s, lost, end.Destroyed[s.Enemy()])
+		}
+	}
+	// After 20 steps the armies (2 rows apart initially... 4 rows apart)
+	// must have engaged: some strength destroyed.
+	if end.Destroyed[Red]+end.Destroyed[Blue] == 0 {
+		t.Fatal("no combat occurred in 20 steps")
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	sc := smallScenario()
+	for _, procs := range []int{2, 4, 8} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			cfg := runConfig(t, sc, procs, 15, nil)
+			res, err := platform.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := platform.RunSequential(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				a := res.FinalData[v].(*HexData)
+				b := want[v].(*HexData)
+				if len(a.Units) != len(b.Units) {
+					t.Fatalf("hex %d: %d units vs %d sequential", v, len(a.Units), len(b.Units))
+				}
+				for i := range a.Units {
+					if a.Units[i] != b.Units[i] {
+						t.Fatalf("hex %d unit %d: %+v vs %+v", v, i, a.Units[i], b.Units[i])
+					}
+				}
+				if a.Destroyed != b.Destroyed {
+					t.Fatalf("hex %d destroyed %v vs %v", v, a.Destroyed, b.Destroyed)
+				}
+			}
+		})
+	}
+}
+
+func TestUnitsMarchTowardEachOther(t *testing.T) {
+	sc := smallScenario()
+	cfg := runConfig(t, sc, 1, 3, nil)
+	final, err := platform.RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 3 steps red units must have advanced past their deployment
+	// zone (rows 0-1) and blue past theirs.
+	redAdvanced, blueAdvanced := false, false
+	for v, d := range final {
+		h := d.(*HexData)
+		r := v / sc.Cols
+		for _, u := range h.Units {
+			if u.Side == Red && r >= sc.DeploymentRows {
+				redAdvanced = true
+			}
+			if u.Side == Blue && r < sc.Rows-sc.DeploymentRows {
+				blueAdvanced = true
+			}
+		}
+	}
+	if !redAdvanced || !blueAdvanced {
+		t.Fatalf("armies did not advance: red=%v blue=%v", redAdvanced, blueAdvanced)
+	}
+}
+
+func TestDirOfReciprocal(t *testing.T) {
+	// dirOf and the (d+3)%6 reciprocal used in resolvePhase must agree
+	// with the hex grid adjacency for both row parities.
+	g, err := graph.HexGrid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		r, c := v/6, v%6
+		for _, u := range g.Adj[v] {
+			d := dirOf(r, c, u, 6)
+			if d < 0 {
+				t.Fatalf("dirOf(%d -> %d) = -1 for adjacent nodes", v, u)
+			}
+			ur, uc := int(u)/6, int(u)%6
+			back := dirOf(ur, uc, graph.NodeID(v), 6)
+			if back != (d+3)%6 {
+				t.Fatalf("reciprocal of dir %d is %d, want %d", d, back, (d+3)%6)
+			}
+		}
+	}
+}
+
+func TestCombatLoadIsDynamic(t *testing.T) {
+	// The per-hex cost must shift over time: the busiest region early
+	// (deployment rows) differs from the busiest region at contact. We
+	// proxy cost by unit count per row band.
+	sc := smallScenario()
+	cfg := runConfig(t, sc, 1, 0, nil)
+	rowsWithUnits := func(data []platform.NodeData) (minR, maxR int) {
+		minR, maxR = sc.Rows, -1
+		for v, d := range data {
+			h := d.(*HexData)
+			if len(h.Units) == 0 {
+				continue
+			}
+			r := v / sc.Cols
+			if r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+			}
+		}
+		return minR, maxR
+	}
+	cfg.Iterations = 2
+	early, err := platform.RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMin, eMax := rowsWithUnits(early)
+	if eMin >= eMax {
+		t.Fatal("units collapsed immediately")
+	}
+	cfg.Iterations = 8
+	late, err := platform.RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lMin, lMax := rowsWithUnits(late)
+	if !(lMin > eMin || lMax < eMax) {
+		t.Fatalf("combat zone did not move: early rows [%d,%d], late rows [%d,%d]", eMin, eMax, lMin, lMax)
+	}
+}
+
+func TestSummarizeRejectsWrongType(t *testing.T) {
+	if _, err := Summarize([]platform.NodeData{platform.IntData(1)}); err == nil {
+		t.Fatal("Summarize accepted IntData")
+	}
+}
+
+func TestSideHelpers(t *testing.T) {
+	if Red.Enemy() != Blue || Blue.Enemy() != Red {
+		t.Fatal("Enemy() wrong")
+	}
+	if Red.String() != "red" || Blue.String() != "blue" {
+		t.Fatal("String() wrong")
+	}
+}
+
+// Property: for arbitrary scenario seeds, total strength is conserved
+// minus destroyed, and unit IDs stay unique across the terrain.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64, stepsRaw uint8) bool {
+		sc := smallScenario()
+		sc.Seed = seed
+		steps := int(stepsRaw%10) + 1
+		terrain, err := sc.Terrain()
+		if err != nil {
+			return false
+		}
+		part := make([]int, terrain.NumVertices())
+		cfg := platform.Config{
+			Graph:            terrain,
+			Procs:            1,
+			InitialPartition: part,
+			InitData:         sc.InitData(),
+			Node:             sc.NodeFunc(DefaultCost()),
+			Iterations:       steps,
+			SubPhases:        2,
+		}
+		initData := make([]platform.NodeData, terrain.NumVertices())
+		for v := range initData {
+			initData[v] = cfg.InitData(graph.NodeID(v))
+		}
+		start, err := Summarize(initData)
+		if err != nil {
+			return false
+		}
+		final, err := platform.RunSequential(cfg)
+		if err != nil {
+			return false
+		}
+		end, err := Summarize(final)
+		if err != nil {
+			return false
+		}
+		for s := Side(0); s <= 1; s++ {
+			if start.Strength[s]-end.Strength[s] != end.Destroyed[s.Enemy()] {
+				return false
+			}
+		}
+		seen := map[int32]bool{}
+		for _, d := range final {
+			for _, u := range d.(*HexData).Units {
+				if seen[u.ID] {
+					return false
+				}
+				seen[u.ID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

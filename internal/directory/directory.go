@@ -1,0 +1,318 @@
+// Package directory implements the distributed data directory proposed in
+// the thesis' future extensions (Section 7.1): "Distributed data directory
+// could be built which would help the processor locate off-processor data.
+// Currently, the processor is able to get all the required shadow node
+// information, but by the use of distributed directories, it might have a
+// possible access to the data of far off processors (which are not
+// neighbors of the current processor)."
+//
+// Every node has a *home* processor determined by a hash of its global ID;
+// the home holds the authoritative owner record for that node. Lookups and
+// ownership updates run as collective phases (every processor submits its
+// batch, services the requests homed to it, and receives its answers), the
+// natural fit for the platform's bulk-synchronous structure and free of
+// request/reply deadlocks.
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
+)
+
+const (
+	tagDirQuery  = 700
+	tagDirReply  = 701
+	tagDirUpdate = 702
+	tagDirData   = 703
+	tagDirFetch  = 704
+)
+
+// Directory is one processor's handle on the distributed owner directory.
+// All processors of the communicator must construct it collectively and
+// call its collective methods (Resolve, Update, FetchData) in the same
+// order.
+type Directory struct {
+	comm *mpi.Comm
+	n    int
+	// records holds owner entries for the node IDs homed on this rank.
+	records map[graph.NodeID]int
+}
+
+// Home returns the home processor of id in a world of size procs.
+func Home(id graph.NodeID, procs int) int {
+	x := uint64(id)*2654435761 + 0x9e3779b9
+	return int(x % uint64(procs))
+}
+
+// New collectively builds a directory over n nodes from the initial
+// node-to-owner assignment (replicated on every rank, as the platform's
+// initialization phase provides). Each rank retains only the records homed
+// to it.
+func New(comm *mpi.Comm, owner []int) (*Directory, error) {
+	if comm == nil {
+		return nil, fmt.Errorf("directory: nil communicator")
+	}
+	d := &Directory{comm: comm, n: len(owner), records: make(map[graph.NodeID]int)}
+	for v, p := range owner {
+		if p < 0 || p >= comm.Size() {
+			return nil, fmt.Errorf("directory: node %d owned by invalid processor %d", v, p)
+		}
+		if Home(graph.NodeID(v), comm.Size()) == comm.Rank() {
+			d.records[graph.NodeID(v)] = p
+		}
+	}
+	return d, nil
+}
+
+// pair is a (node, value) element of query/update batches.
+type pair struct {
+	ID    graph.NodeID
+	Value int
+}
+
+// exchange performs one all-to-all batch exchange: out[p] is sent to p,
+// and the batches received from every rank are returned indexed by source.
+// Counts are pre-exchanged via Allgather so receivers know whom to expect.
+func (d *Directory) exchange(tag int, out [][]pair) ([][]pair, error) {
+	size := d.comm.Size()
+	counts := make([]int, size)
+	for p := range out {
+		counts[p] = len(out[p])
+	}
+	allCounts, err := d.comm.Allgather(counts, 8*size)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < size; p++ {
+		if len(out[p]) == 0 || p == d.comm.Rank() {
+			continue
+		}
+		if err := d.comm.Isend(p, tag, out[p], 8*len(out[p])); err != nil {
+			return nil, err
+		}
+	}
+	in := make([][]pair, size)
+	in[d.comm.Rank()] = out[d.comm.Rank()]
+	for src := 0; src < size; src++ {
+		if src == d.comm.Rank() {
+			continue
+		}
+		if allCounts[src].([]int)[d.comm.Rank()] == 0 {
+			continue
+		}
+		payload, err := d.comm.Recv(src, tag)
+		if err != nil {
+			return nil, err
+		}
+		in[src] = payload.([]pair)
+	}
+	return in, nil
+}
+
+// Resolve collectively answers owner lookups: every rank passes the node
+// IDs it wants resolved and receives the owners in matching order. Ranks
+// with nothing to ask pass nil (the call is still collective).
+func (d *Directory) Resolve(ids []graph.NodeID) ([]int, error) {
+	size := d.comm.Size()
+	// Phase 1: route queries to homes.
+	out := make([][]pair, size)
+	for i, id := range ids {
+		if err := d.checkID(id); err != nil {
+			return nil, err
+		}
+		h := Home(id, size)
+		out[h] = append(out[h], pair{ID: id, Value: i})
+	}
+	queries, err := d.exchange(tagDirQuery, out)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: answer from local records, preserving the requester's
+	// position index in Value's place alongside the owner.
+	replies := make([][]pair, size)
+	for src := 0; src < size; src++ {
+		for _, q := range queries[src] {
+			owner, ok := d.records[q.ID]
+			if !ok {
+				return nil, fmt.Errorf("directory: rank %d has no record for node %d (home mismatch)", d.comm.Rank(), q.ID)
+			}
+			replies[src] = append(replies[src], pair{ID: graph.NodeID(q.Value), Value: owner})
+		}
+	}
+	answers, err := d.exchange(tagDirReply, replies)
+	if err != nil {
+		return nil, err
+	}
+	result := make([]int, len(ids))
+	seen := make([]bool, len(ids))
+	for src := 0; src < size; src++ {
+		for _, a := range answers[src] {
+			idx := int(a.ID)
+			if idx < 0 || idx >= len(ids) || seen[idx] {
+				return nil, fmt.Errorf("directory: rank %d received bogus reply index %d", d.comm.Rank(), idx)
+			}
+			result[idx] = a.Value
+			seen[idx] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("directory: query %d (node %d) unanswered", i, ids[i])
+		}
+	}
+	return result, nil
+}
+
+// Update collectively records ownership changes (after task migration).
+// Every rank passes the changes it knows about — typically the migrations
+// it participated in; duplicate notifications of the same change are
+// permitted and must agree.
+func (d *Directory) Update(changes map[graph.NodeID]int) error {
+	size := d.comm.Size()
+	out := make([][]pair, size)
+	// Deterministic order for reproducible virtual time.
+	ids := make([]graph.NodeID, 0, len(changes))
+	for id := range changes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		if err := d.checkID(id); err != nil {
+			return err
+		}
+		newOwner := changes[id]
+		if newOwner < 0 || newOwner >= size {
+			return fmt.Errorf("directory: update assigns node %d to invalid processor %d", id, newOwner)
+		}
+		h := Home(id, size)
+		out[h] = append(out[h], pair{ID: id, Value: newOwner})
+	}
+	in, err := d.exchange(tagDirUpdate, out)
+	if err != nil {
+		return err
+	}
+	for src := 0; src < size; src++ {
+		for _, u := range in[src] {
+			if Home(u.ID, size) != d.comm.Rank() {
+				return fmt.Errorf("directory: rank %d received update for foreign node %d", d.comm.Rank(), u.ID)
+			}
+			d.records[u.ID] = u.Value
+		}
+	}
+	return d.comm.Barrier()
+}
+
+// LocalRecords returns a copy of the owner records homed on this rank,
+// for tests and debugging.
+func (d *Directory) LocalRecords() map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(d.records))
+	for id, p := range d.records {
+		out[id] = p
+	}
+	return out
+}
+
+func (d *Directory) checkID(id graph.NodeID) error {
+	if id < 0 || int(id) >= d.n {
+		return fmt.Errorf("directory: node %d outside [0,%d)", id, d.n)
+	}
+	return nil
+}
+
+// Fetcher resolves remote data through the directory: given owner lookups it
+// pulls node data from arbitrary (non-neighbor) processors in a collective
+// phase. The platform's shadow exchange only reaches graph neighbors; this
+// is the "access to the data of far off processors" extension.
+type Fetcher struct {
+	dir *Directory
+	// Provide returns the local payload for a node this rank owns.
+	Provide func(id graph.NodeID) (any, int, error)
+}
+
+// NewFetcher wraps a directory with a data provider callback.
+func NewFetcher(dir *Directory, provide func(id graph.NodeID) (any, int, error)) *Fetcher {
+	return &Fetcher{dir: dir, Provide: provide}
+}
+
+// Fetch collectively retrieves the data of the given nodes, wherever they
+// live: owners are resolved through the directory, pull requests are
+// routed to the owners, and payloads come back in matching order. All
+// ranks must call Fetch together (possibly with empty requests).
+func (f *Fetcher) Fetch(ids []graph.NodeID) ([]any, error) {
+	owners, err := f.dir.Resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+	size := f.dir.comm.Size()
+	out := make([][]pair, size)
+	for i, id := range ids {
+		out[owners[i]] = append(out[owners[i]], pair{ID: id, Value: i})
+	}
+	requests, err := f.dir.exchange(tagDirFetch, out)
+	if err != nil {
+		return nil, err
+	}
+	// Serve data. Replies are keyed by the requester's position index.
+	type reply struct {
+		Idx     int
+		Payload any
+	}
+	replies := make([][]reply, size)
+	sizes := make([]int, size)
+	for src := 0; src < size; src++ {
+		for _, q := range requests[src] {
+			payload, bytes, err := f.Provide(q.ID)
+			if err != nil {
+				return nil, fmt.Errorf("directory: rank %d cannot provide node %d: %w", f.dir.comm.Rank(), q.ID, err)
+			}
+			replies[src] = append(replies[src], reply{Idx: q.Value, Payload: payload})
+			sizes[src] += bytes + 8
+		}
+	}
+	counts := make([]int, size)
+	for p := range replies {
+		counts[p] = len(replies[p])
+	}
+	allCounts, err := f.dir.comm.Allgather(counts, 8*size)
+	if err != nil {
+		return nil, err
+	}
+	me := f.dir.comm.Rank()
+	for p := 0; p < size; p++ {
+		if p == me || len(replies[p]) == 0 {
+			continue
+		}
+		if err := f.dir.comm.Isend(p, tagDirData, replies[p], sizes[p]); err != nil {
+			return nil, err
+		}
+	}
+	result := make([]any, len(ids))
+	apply := func(rs []reply) error {
+		for _, r := range rs {
+			if r.Idx < 0 || r.Idx >= len(ids) {
+				return fmt.Errorf("directory: bogus fetch reply index %d", r.Idx)
+			}
+			result[r.Idx] = r.Payload
+		}
+		return nil
+	}
+	if err := apply(replies[me]); err != nil {
+		return nil, err
+	}
+	for src := 0; src < size; src++ {
+		if src == me || allCounts[src].([]int)[me] == 0 {
+			continue
+		}
+		payload, err := f.dir.comm.Recv(src, tagDirData)
+		if err != nil {
+			return nil, err
+		}
+		if err := apply(payload.([]reply)); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}

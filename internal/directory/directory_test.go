@@ -1,0 +1,311 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
+	"ic2mpi/internal/vtime"
+)
+
+func world(procs int) mpi.Options {
+	return mpi.Options{Procs: procs, Cost: vtime.Zero()}
+}
+
+func TestHomeInRangeAndDeterministic(t *testing.T) {
+	f := func(idRaw uint16, procsRaw uint8) bool {
+		procs := int(procsRaw%16) + 1
+		id := graph.NodeID(idRaw)
+		h := Home(id, procs)
+		return h >= 0 && h < procs && h == Home(id, procs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidatesOwners(t *testing.T) {
+	err := mpi.Run(world(2), func(c *mpi.Comm) error {
+		if _, err := New(c, []int{0, 5}); err == nil {
+			return errors.New("invalid owner accepted")
+		}
+		if _, err := New(nil, []int{0}); err == nil {
+			return errors.New("nil comm accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordsPartitionedByHome(t *testing.T) {
+	const n, procs = 40, 4
+	owner := make([]int, n)
+	for v := range owner {
+		owner[v] = v % procs
+	}
+	var mu sync.Mutex
+	total := 0
+	err := mpi.Run(world(procs), func(c *mpi.Comm) error {
+		d, err := New(c, owner)
+		if err != nil {
+			return err
+		}
+		for id := range d.LocalRecords() {
+			if Home(id, procs) != c.Rank() {
+				return fmt.Errorf("rank %d holds record for node %d homed at %d", c.Rank(), id, Home(id, procs))
+			}
+		}
+		mu.Lock()
+		total += len(d.LocalRecords())
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("records total %d, want %d", total, n)
+	}
+}
+
+func TestResolveReturnsOwners(t *testing.T) {
+	const n, procs = 64, 8
+	owner := make([]int, n)
+	rng := rand.New(rand.NewSource(42))
+	for v := range owner {
+		owner[v] = rng.Intn(procs)
+	}
+	err := mpi.Run(world(procs), func(c *mpi.Comm) error {
+		d, err := New(c, owner)
+		if err != nil {
+			return err
+		}
+		// Every rank asks about a different, overlapping slice of nodes.
+		var ids []graph.NodeID
+		for v := c.Rank(); v < n; v += 3 {
+			ids = append(ids, graph.NodeID(v))
+		}
+		got, err := d.Resolve(ids)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if got[i] != owner[id] {
+				return fmt.Errorf("rank %d: node %d resolved to %d, want %d", c.Rank(), id, got[i], owner[id])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveEmptyCollective(t *testing.T) {
+	err := mpi.Run(world(3), func(c *mpi.Comm) error {
+		d, err := New(c, []int{0, 1, 2, 0})
+		if err != nil {
+			return err
+		}
+		var ids []graph.NodeID
+		if c.Rank() == 1 {
+			ids = []graph.NodeID{3}
+		}
+		got, err := d.Resolve(ids)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 && got[0] != 0 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveRejectsOutOfRange(t *testing.T) {
+	err := mpi.Run(world(2), func(c *mpi.Comm) error {
+		d, err := New(c, []int{0, 1})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if _, err := d.Resolve([]graph.NodeID{9}); err == nil {
+				return errors.New("out-of-range id accepted")
+			}
+			c.Fail(errors.New("done")) // release rank 1 from the collective
+			return nil
+		}
+		_, _ = d.Resolve(nil) // aborted by rank 0's failure
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the deliberate failure to surface")
+	}
+}
+
+func TestUpdateThenResolve(t *testing.T) {
+	const n, procs = 32, 4
+	owner := make([]int, n) // all owned by 0 initially
+	err := mpi.Run(world(procs), func(c *mpi.Comm) error {
+		d, err := New(c, owner)
+		if err != nil {
+			return err
+		}
+		// Rank 0 announces a migration wave: node v moves to v%procs.
+		changes := map[graph.NodeID]int{}
+		if c.Rank() == 0 {
+			for v := 0; v < n; v++ {
+				changes[graph.NodeID(v)] = v % procs
+			}
+		}
+		if err := d.Update(changes); err != nil {
+			return err
+		}
+		ids := make([]graph.NodeID, n)
+		for v := range ids {
+			ids[v] = graph.NodeID(v)
+		}
+		got, err := d.Resolve(ids)
+		if err != nil {
+			return err
+		}
+		for v, p := range got {
+			if p != v%procs {
+				return fmt.Errorf("rank %d: node %d -> %d, want %d", c.Rank(), v, p, v%procs)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchPullsRemoteData(t *testing.T) {
+	const n, procs = 48, 6
+	owner := make([]int, n)
+	for v := range owner {
+		owner[v] = (v * 7) % procs
+	}
+	err := mpi.Run(world(procs), func(c *mpi.Comm) error {
+		d, err := New(c, owner)
+		if err != nil {
+			return err
+		}
+		f := NewFetcher(d, func(id graph.NodeID) (any, int, error) {
+			if owner[id] != c.Rank() {
+				return nil, 0, fmt.Errorf("rank %d asked for node %d it does not own", c.Rank(), id)
+			}
+			return int(id) * 1000, 8, nil
+		})
+		// Every rank fetches a scattered set, including far-off owners.
+		var ids []graph.NodeID
+		for v := (c.Rank() * 5) % n; len(ids) < 8; v = (v + 11) % n {
+			ids = append(ids, graph.NodeID(v))
+		}
+		got, err := f.Fetch(ids)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if got[i].(int) != int(id)*1000 {
+				return fmt.Errorf("rank %d: fetch(%d) = %v", c.Rank(), id, got[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchDuplicateIDs(t *testing.T) {
+	err := mpi.Run(world(2), func(c *mpi.Comm) error {
+		owner := []int{0, 1}
+		d, err := New(c, owner)
+		if err != nil {
+			return err
+		}
+		f := NewFetcher(d, func(id graph.NodeID) (any, int, error) { return int(id) + 7, 8, nil })
+		got, err := f.Fetch([]graph.NodeID{1, 1, 0})
+		if err != nil {
+			return err
+		}
+		if got[0].(int) != 8 || got[1].(int) != 8 || got[2].(int) != 7 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after random update waves, Resolve matches a replicated model
+// map on every rank.
+func TestQuickDirectoryMatchesModel(t *testing.T) {
+	f := func(seed int64, procsRaw uint8) bool {
+		procs := int(procsRaw%6) + 2
+		const n = 30
+		rng := rand.New(rand.NewSource(seed))
+		owner := make([]int, n)
+		for v := range owner {
+			owner[v] = rng.Intn(procs)
+		}
+		waves := make([]map[graph.NodeID]int, 3)
+		model := append([]int(nil), owner...)
+		for w := range waves {
+			waves[w] = map[graph.NodeID]int{}
+			for i := 0; i < 5; i++ {
+				id := graph.NodeID(rng.Intn(n))
+				p := rng.Intn(procs)
+				waves[w][id] = p
+				model[id] = p
+			}
+		}
+		err := mpi.Run(world(procs), func(c *mpi.Comm) error {
+			d, err := New(c, owner)
+			if err != nil {
+				return err
+			}
+			for _, wave := range waves {
+				// Rank 0 announces every wave; other ranks pass nil.
+				var ch map[graph.NodeID]int
+				if c.Rank() == 0 {
+					ch = wave
+				}
+				if err := d.Update(ch); err != nil {
+					return err
+				}
+			}
+			ids := make([]graph.NodeID, n)
+			for v := range ids {
+				ids[v] = graph.NodeID(v)
+			}
+			got, err := d.Resolve(ids)
+			if err != nil {
+				return err
+			}
+			for v := range got {
+				if got[v] != model[v] {
+					return fmt.Errorf("node %d: %d != %d", v, got[v], model[v])
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/battlefield"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/topology"
+	"ic2mpi/internal/vtime"
+)
+
+// Tables 7-11 and Figure 20: the 32x32-hex battlefield management
+// simulation under five static partitioning schemes, varying simulation
+// steps and processor counts.
+
+var battlefieldSteps = []int{5, 15, 25}
+
+// battlefieldPartitioners maps table IDs to partitioner names and paper
+// titles.
+var battlefieldPartitioners = []struct {
+	id, part, title string
+}{
+	{"table7", "metis", "Execution Time (in seconds) of Battlefield Simulator using Metis"},
+	{"table8", "bf", "Execution Time (in seconds) of Battlefield Simulator using Fine-Grained Mesh-to-Hypercube Embedding (BF Partition)"},
+	{"table9", "rowband", "Execution Time (in seconds) of Battlefield Simulator using Row Band Partition"},
+	{"table10", "colband", "Execution Time (in seconds) of Battlefield Simulator using Column Band Partition"},
+	{"table11", "rectband", "Execution Time (in seconds) of Battlefield Simulator using Rectangular Partition"},
+}
+
+// battlefieldRun executes the battlefield simulation on the platform.
+func battlefieldRun(partName string, procs, steps int) (*platform.Result, error) {
+	sc := battlefield.DefaultScenario()
+	terrain, err := sc.Terrain()
+	if err != nil {
+		return nil, err
+	}
+	part, err := partitionFor(partName, terrain, procs)
+	if err != nil {
+		return nil, err
+	}
+	net, err := topology.Hypercube(procs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := platform.Config{
+		Graph:            terrain,
+		Procs:            procs,
+		InitialPartition: part,
+		InitData:         sc.InitData(),
+		Node:             sc.NodeFunc(battlefield.DefaultCost()),
+		Iterations:       steps,
+		SubPhases:        2,
+		Cost:             vtime.Origin2000(),
+		Overheads:        platform.DefaultOverheads(),
+		Network:          net,
+		SkipFinalGather:  true,
+	}
+	return platform.Run(cfg)
+}
+
+func battlefieldTable(id, partName, title string) Runner {
+	return func() (Report, error) {
+		t := &Table{
+			ID: id, Title: title,
+			RowHeader: "Sim. Steps",
+			Cols:      procLabels(),
+		}
+		for _, steps := range battlefieldSteps {
+			row := make([]float64, len(Procs))
+			for j, p := range Procs {
+				res, err := battlefieldRun(partName, p, steps)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = res.Elapsed
+			}
+			t.Rows = append(t.Rows, fmt.Sprint(steps))
+			t.Values = append(t.Values, row)
+		}
+		return t, nil
+	}
+}
+
+// fig20 plots battlefield speedup at 25 steps for all five partitioners.
+func fig20() (Report, error) {
+	f := &Figure{
+		ID: "fig20", Title: "Performance of Battlefield Management Simulation for different Static Partitioning Algorithms",
+		XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
+	}
+	names := []struct{ part, label string }{
+		{"metis", "Metis"},
+		{"bf", "BF Partition"},
+		{"rowband", "Row Band"},
+		{"colband", "Column Band"},
+		{"rectband", "Rectangular"},
+	}
+	for _, n := range names {
+		times := make([]float64, len(Procs))
+		for i, p := range Procs {
+			res, err := battlefieldRun(n.part, p, 25)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = res.Elapsed
+		}
+		f.Series = append(f.Series, Series{Name: n.label, Y: speedups(times)})
+	}
+	return f, nil
+}
+
+func init() {
+	for _, b := range battlefieldPartitioners {
+		Registry[b.id] = battlefieldTable(b.id, b.part, b.title)
+	}
+	Registry["fig20"] = fig20
+}

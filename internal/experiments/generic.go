@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/workload"
+)
+
+// Tables 2-4: execution time on 32-, 64- and 96-node hexagonal grids with
+// fine-grain (0.3 ms) node computation, Metis static partitioning.
+// Tables 5-6: the same sweeps on 32- and 64-node random graphs.
+// Figures 11-19: speedup and comparison plots derived from the same
+// workloads.
+
+var tableIters = []int{10, 15, 20}
+
+func hexTable(id string, n int) Runner {
+	return func() (Report, error) {
+		g, err := graph.PaperHexGrid(n)
+		if err != nil {
+			return nil, err
+		}
+		return executionTimeTable(id,
+			fmt.Sprintf("Execution Time (in seconds) on %d-node Hexagonal Grids", n),
+			g, tableIters, workload.UniformGrain(workload.FineGrain))
+	}
+}
+
+func randomTable(id string, n int) Runner {
+	return func() (Report, error) {
+		g, err := graph.PaperRandom(n)
+		if err != nil {
+			return nil, err
+		}
+		return executionTimeTable(id,
+			fmt.Sprintf("Execution Time (in seconds) on %d-node Random Graphs", n),
+			g, tableIters, workload.UniformGrain(workload.FineGrain))
+	}
+}
+
+// fig11 plots speedup for the three hexagonal grids at 20 iterations.
+func fig11() (Report, error) {
+	f := &Figure{
+		ID: "fig11", Title: "Speedup for Hexagonal Grids using Metis",
+		XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
+	}
+	for _, n := range []int{32, 64, 96} {
+		g, err := graph.PaperHexGrid(n)
+		if err != nil {
+			return nil, err
+		}
+		times, err := timesFor(g, "metis", 20, workload.UniformGrain(workload.FineGrain), nil)
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, Series{Name: fmt.Sprintf("%d-node Hexagonal Grid", n), Y: speedups(times)})
+	}
+	return f, nil
+}
+
+// metisVsPaGrid builds Figures 12 and 17: fine and coarse grain speedups
+// under both partitioners.
+func metisVsPaGrid(id, title string, mk func() (*graph.Graph, error)) Runner {
+	return func() (Report, error) {
+		g, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		f := &Figure{
+			ID: id, Title: title,
+			XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
+		}
+		type variant struct {
+			name  string
+			part  string
+			grain float64
+		}
+		for _, v := range []variant{
+			{"Fine Grain (0.3ms) - Metis", "metis", workload.FineGrain},
+			{"Coarse Grain (3ms) - Metis", "metis", workload.CoarseGrain},
+			{"Fine Grain (0.3ms) - PaGrid", "pagrid", workload.FineGrain},
+			{"Coarse Grain (3ms) - PaGrid", "pagrid", workload.CoarseGrain},
+		} {
+			times, err := timesFor(g, v.part, 20, workload.UniformGrain(v.grain), nil)
+			if err != nil {
+				return nil, err
+			}
+			f.Series = append(f.Series, Series{Name: v.name, Y: speedups(times)})
+		}
+		return f, nil
+	}
+}
+
+// staticVsDynamic builds Figures 13-15 and 18-19: speedup with and without
+// the dynamic load balancing utility under the Fig. 23 imbalance schedule,
+// 25 iterations, balancing every 10 time steps. Speedups are relative to
+// the 1-processor execution of the same workload.
+func staticVsDynamic(id, title string, mk func() (*graph.Graph, error)) Runner {
+	return func() (Report, error) {
+		g, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		// The thesis' imbalance generator uses dummy loops of 100000 vs
+		// 1000 iterations — a 100:1 grain ratio (Appendix B).
+		grain := workload.Fig23Schedule(g.NumVertices(), workload.CoarseGrain, workload.CoarseGrain/100)
+		f := &Figure{
+			ID: id, Title: title,
+			XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
+			Notes: "Fig. 23 imbalance schedule (100:1 grain ratio); balancer every 3 steps, multi-round migration (see EXPERIMENTS.md)",
+		}
+		dynTimes, err := timesFor(g, "metis", 25, grain, dynamicBalancer())
+		if err != nil {
+			return nil, err
+		}
+		statTimes, err := timesFor(g, "metis", 25, grain, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Both series share the static 1-proc baseline, as in the paper.
+		base := statTimes[0]
+		dyn := make([]float64, len(dynTimes))
+		stat := make([]float64, len(statTimes))
+		for i := range Procs {
+			dyn[i] = base / dynTimes[i]
+			stat[i] = base / statTimes[i]
+		}
+		f.Series = append(f.Series,
+			Series{Name: "Dynamic Load Balancing Utility", Y: dyn},
+			Series{Name: "Static Partition", Y: stat},
+		)
+		return f, nil
+	}
+}
+
+// fig16 plots random-graph speedups with static Metis partitioning.
+func fig16() (Report, error) {
+	f := &Figure{
+		ID: "fig16", Title: "Speedup for Random Graphs with Static Partition (Metis)",
+		XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
+	}
+	for _, n := range []int{32, 64} {
+		g, err := graph.PaperRandom(n)
+		if err != nil {
+			return nil, err
+		}
+		times, err := timesFor(g, "metis", 20, workload.UniformGrain(workload.FineGrain), nil)
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, Series{Name: fmt.Sprintf("%d-node Random Graph", n), Y: speedups(times)})
+	}
+	return f, nil
+}
+
+// overheadFigure builds Figures 21-22: per-phase overhead breakdown for
+// fine-grained 64-node graphs, 35 iterations, dynamic load balancer
+// invoked every 10 time steps, across 2-16 processors.
+func overheadFigure(id, title string, mk func() (*graph.Graph, error)) Runner {
+	return func() (Report, error) {
+		g, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		procs := []int{2, 4, 8, 16}
+		f := &Figure{
+			ID: id, Title: title,
+			XLabel: "Processor", YLabel: "Time in Seconds",
+			Notes: "35 iterations, fine grain (0.3ms), load balancer every 10 steps",
+		}
+		for _, p := range procs {
+			f.X = append(f.X, fmt.Sprint(p))
+		}
+		series := make([]Series, platform.NumPhases)
+		for ph := 0; ph < platform.NumPhases; ph++ {
+			series[ph].Name = platform.Phase(ph).String()
+			series[ph].Y = make([]float64, len(procs))
+		}
+		for i, p := range procs {
+			r := genericRun{
+				G: g, Partition: "metis", Procs: p, Iterations: 35,
+				Grain:    workload.Fig23Schedule(g.NumVertices(), workload.CoarseGrain, workload.FineGrain),
+				Balancer: dynamicBalancer(),
+			}
+			res, err := r.execute()
+			if err != nil {
+				return nil, err
+			}
+			for ph := 0; ph < platform.NumPhases; ph++ {
+				series[ph].Y[i] = res.MaxPhase(platform.Phase(ph))
+			}
+		}
+		f.Series = series
+		return f, nil
+	}
+}
+
+// fig23 documents the dynamic-imbalance schedule itself: for a 64-node
+// graph it reports, per 10-iteration window, which node-ID range runs at
+// coarse grain, plus the measured aggregate coarse fraction.
+func fig23() (Report, error) {
+	const n = 64
+	grain := workload.Fig23Schedule(n, workload.CoarseGrain, workload.FineGrain)
+	f := &Figure{
+		ID: "fig23", Title: "Varying the grain size of the node for creating dynamic load imbalance",
+		XLabel: "Iteration window", X: []string{"1-10", "11-20", "21-30", "31-35"},
+		YLabel: "coarse-grain share of nodes",
+		Notes:  "windows sweep the coarse region across the node ID space (Fig. 23 pseudocode)",
+	}
+	share := make([]float64, 4)
+	for w, iter := range []int{5, 15, 25, 33} {
+		coarse := 0
+		for v := 0; v < n; v++ {
+			if grain(graph.NodeID(v), iter) == workload.CoarseGrain {
+				coarse++
+			}
+		}
+		share[w] = float64(coarse) / n
+	}
+	f.Series = []Series{{Name: "64-node graph", Y: share}}
+	return f, nil
+}
+
+func init() {
+	Registry["table2"] = hexTable("table2", 32)
+	Registry["table3"] = hexTable("table3", 64)
+	Registry["table4"] = hexTable("table4", 96)
+	Registry["table5"] = randomTable("table5", 32)
+	Registry["table6"] = randomTable("table6", 64)
+	Registry["fig11"] = fig11
+	Registry["fig12"] = metisVsPaGrid("fig12",
+		"Metis vs PaGrid for Fine and Coarse Grained 64-node Hexagonal Grids",
+		func() (*graph.Graph, error) { return graph.PaperHexGrid(64) })
+	Registry["fig13"] = staticVsDynamic("fig13",
+		"Static v Dynamic Partitioning on 64-node Hexagonal Grids",
+		func() (*graph.Graph, error) { return graph.PaperHexGrid(64) })
+	Registry["fig14"] = staticVsDynamic("fig14",
+		"Static v Dynamic Partitioning on 32-node Hexagonal Grids",
+		func() (*graph.Graph, error) { return graph.PaperHexGrid(32) })
+	Registry["fig15"] = staticVsDynamic("fig15",
+		"Static v Dynamic Partitioning on 96-node Hexagonal Grids",
+		func() (*graph.Graph, error) { return graph.PaperHexGrid(96) })
+	Registry["fig16"] = fig16
+	Registry["fig17"] = metisVsPaGrid("fig17",
+		"Metis vs PaGrid on Fine and Coarse Grained 64-node Random Graphs",
+		func() (*graph.Graph, error) { return graph.PaperRandom(64) })
+	Registry["fig18"] = staticVsDynamic("fig18",
+		"Performance of Dynamic Partitioning on 64-node Random Graphs",
+		func() (*graph.Graph, error) { return graph.PaperRandom(64) })
+	Registry["fig19"] = staticVsDynamic("fig19",
+		"Performance of Dynamic Partitioning on 32-node Random Graphs",
+		func() (*graph.Graph, error) { return graph.PaperRandom(32) })
+	Registry["fig21"] = overheadFigure("fig21",
+		"Overheads in iC2mpi Platform for fine grained 64-node Hexagonal Grids",
+		func() (*graph.Graph, error) { return graph.PaperHexGrid(64) })
+	Registry["fig22"] = overheadFigure("fig22",
+		"Overheads in iC2mpi Platform for fine grained 64-node Random Graphs",
+		func() (*graph.Graph, error) { return graph.PaperRandom(64) })
+	Registry["fig23"] = fig23
+}

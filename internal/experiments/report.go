@@ -1,0 +1,137 @@
+// Package experiments regenerates every table and figure of the thesis'
+// evaluation (Section 5) on the simulated cluster: execution-time tables
+// for hexagonal grids, random graphs and the battlefield simulation,
+// speedup figures for static partitioners, Metis-vs-PaGrid comparisons,
+// static-vs-dynamic load balancing comparisons, and the platform overhead
+// breakdowns. Each experiment is addressable by its paper ID ("table2",
+// "fig17", ...) through the Registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a paper-style execution-time table: rows are iteration/step
+// counts, columns are processor counts, values are seconds.
+type Table struct {
+	ID, Title  string
+	RowHeader  string
+	Rows, Cols []string
+	Values     [][]float64
+	Notes      string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-12s", t.RowHeader)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s", r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "%12.4f", t.Values[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string { return t.Format() }
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a paper-style line plot rendered as text: one row per X value,
+// one column per series.
+type Figure struct {
+	ID, Title string
+	XLabel    string
+	X         []string
+	YLabel    string
+	Series    []Series
+	Notes     string
+}
+
+// Format renders the figure data as aligned text.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s  (%s vs %s)\n", f.ID, f.Title, f.YLabel, f.XLabel)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%28s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%-12s", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%28.3f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", f.Notes)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (f *Figure) String() string { return f.Format() }
+
+// Report is the common interface of tables and figures.
+type Report interface {
+	fmt.Stringer
+}
+
+// Runner produces one experiment's report.
+type Runner func() (Report, error)
+
+// Registry maps paper experiment IDs to runners. Populated by init
+// functions across this package.
+var Registry = map[string]Runner{}
+
+// IDs returns the registered experiment IDs in paper order (tables first,
+// then figures, numerically).
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return orderKey(ids[a]) < orderKey(ids[b]) })
+	return ids
+}
+
+func orderKey(id string) int {
+	var n int
+	switch {
+	case strings.HasPrefix(id, "table"):
+		fmt.Sscanf(id, "table%d", &n)
+		return n
+	case strings.HasPrefix(id, "fig"):
+		fmt.Sscanf(id, "fig%d", &n)
+		return 100 + n
+	default:
+		return 1000
+	}
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string) (Report, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r()
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/balance"
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/partition"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/topology"
+	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/workload"
+)
+
+// Procs is the processor sweep of every experiment in the paper.
+var Procs = []int{1, 2, 4, 8, 16}
+
+// procLabels renders the processor sweep as column headers.
+func procLabels() []string {
+	out := make([]string, len(Procs))
+	for i, p := range Procs {
+		out[i] = fmt.Sprint(p)
+	}
+	return out
+}
+
+// partitionFor runs the named partitioner ("metis", "pagrid", "rowband",
+// "colband", "rectband", "bf") on g for k processors. PaGrid maps onto the
+// Origin 2000's hypercube with the paper's Rref = 0.45.
+func partitionFor(name string, g *graph.Graph, k int) ([]int, error) {
+	switch name {
+	case "metis":
+		return (&partition.Multilevel{Seed: 1}).Partition(g, nil, k)
+	case "pagrid":
+		net, err := topology.Hypercube(k)
+		if err != nil {
+			return nil, err
+		}
+		return (&partition.PaGrid{Rref: 0.45, Seed: 1}).Partition(g, net, k)
+	case "rowband":
+		return partition.RowBand{}.Partition(g, nil, k)
+	case "colband":
+		return partition.ColumnBand{}.Partition(g, nil, k)
+	case "rectband":
+		return partition.RectBand{}.Partition(g, nil, k)
+	case "bf":
+		return partition.BFGrayCode{}.Partition(g, nil, k)
+	default:
+		return nil, fmt.Errorf("experiments: unknown partitioner %q", name)
+	}
+}
+
+// genericRun measures one platform execution of the thesis' generic
+// neighbor-averaging application.
+type genericRun struct {
+	G             *graph.Graph
+	Partition     string
+	Procs         int
+	Iterations    int
+	Grain         workload.GrainFunc
+	Balancer      platform.Balancer
+	BalanceEvery  int
+	BalanceRounds int
+	Overlap       bool
+}
+
+func (r genericRun) execute() (*platform.Result, error) {
+	part, err := partitionFor(r.Partition, r.G, r.Procs)
+	if err != nil {
+		return nil, err
+	}
+	every := r.BalanceEvery
+	if every == 0 {
+		every = 10
+	}
+	// All experiments execute on the Origin 2000's hypercube: wire cost
+	// scales with hop count, which is what PaGrid's placement optimizes.
+	net, err := topology.Hypercube(r.Procs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := platform.Config{
+		Graph:            r.G,
+		Procs:            r.Procs,
+		InitialPartition: part,
+		InitData:         workload.InitID,
+		Node:             workload.Averaging(r.Grain),
+		Iterations:       r.Iterations,
+		Balancer:         r.Balancer,
+		BalanceEvery:     every,
+		BalanceRounds:    r.BalanceRounds,
+		Overlap:          r.Overlap,
+		Cost:             vtime.Origin2000(),
+		Overheads:        platform.DefaultOverheads(),
+		Network:          net,
+		SkipFinalGather:  true,
+	}
+	return platform.Run(cfg)
+}
+
+func (r genericRun) elapsed() (float64, error) {
+	res, err := r.execute()
+	if err != nil {
+		return 0, err
+	}
+	return res.Elapsed, nil
+}
+
+// executionTimeTable builds a Tables 2-6 style sweep: iterations x procs.
+func executionTimeTable(id, title string, g *graph.Graph, iters []int, grain workload.GrainFunc) (*Table, error) {
+	t := &Table{
+		ID:        id,
+		Title:     title,
+		RowHeader: "Iterations",
+		Cols:      procLabels(),
+	}
+	for _, it := range iters {
+		row := make([]float64, len(Procs))
+		for j, p := range Procs {
+			e, err := genericRun{G: g, Partition: "metis", Procs: p, Iterations: it, Grain: grain}.elapsed()
+			if err != nil {
+				return nil, err
+			}
+			row[j] = e
+		}
+		t.Rows = append(t.Rows, fmt.Sprint(it))
+		t.Values = append(t.Values, row)
+	}
+	return t, nil
+}
+
+// speedups converts an execution-time series (indexed like Procs) into
+// speedups relative to the 1-processor entry.
+func speedups(times []float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 {
+			out[i] = times[0] / t
+		}
+	}
+	return out
+}
+
+// timesFor measures elapsed time across the processor sweep.
+func timesFor(g *graph.Graph, partitioner string, iters int, grain workload.GrainFunc, bal platform.Balancer) ([]float64, error) {
+	out := make([]float64, len(Procs))
+	for i, p := range Procs {
+		r := genericRun{G: g, Partition: partitioner, Procs: p, Iterations: iters, Grain: grain, Balancer: bal}
+		if bal != nil {
+			// Dynamic runs use the Section 7 extensions: a shorter
+			// balancing period (so the balancer can correct within an
+			// imbalance window of the Fig. 23 schedule) and multi-round
+			// migration. See EXPERIMENTS.md for the rationale.
+			r.BalanceEvery = 3
+			r.BalanceRounds = 4
+		}
+		if p == 1 {
+			r.Balancer = nil // nothing to balance on one processor
+		}
+		e, err := r.elapsed()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// dynamicBalancer returns the thesis' centralized heuristic.
+func dynamicBalancer() platform.Balancer { return &balance.CentralizedHeuristic{} }

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chaco/Metis graph file format, as used by the thesis to feed Metis and
+// PaGrid ("We employed Chaco format for the application program graph as
+// input to the partitioners").
+//
+// Header line: "<vertices> <edges> [fmt]" where fmt is
+//
+//	0  (or absent) unweighted
+//	1  edge weights
+//	10 vertex weights
+//	11 vertex and edge weights
+//
+// followed by one line per vertex: the optional vertex weight, then the
+// vertex's neighbors as 1-based IDs, each followed by its edge weight when
+// fmt is 1 or 11. '%' and '#' begin comment lines.
+
+// FmtCode is the Chaco weight format code.
+type FmtCode int
+
+const (
+	FmtPlain       FmtCode = 0
+	FmtEdgeW       FmtCode = 1
+	FmtVertexW     FmtCode = 10
+	FmtVertexEdgeW FmtCode = 11
+)
+
+func (f FmtCode) hasVertexWeights() bool { return f == FmtVertexW || f == FmtVertexEdgeW }
+func (f FmtCode) hasEdgeWeights() bool   { return f == FmtEdgeW || f == FmtVertexEdgeW }
+
+// ReadChaco parses a graph in Chaco format.
+func ReadChaco(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("chaco: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("chaco: header must be 'n m [fmt]', got %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("chaco: bad vertex count %q", fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("chaco: bad edge count %q", fields[1])
+	}
+	code := FmtPlain
+	if len(fields) == 3 {
+		c, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("chaco: bad fmt code %q", fields[2])
+		}
+		code = FmtCode(c)
+		switch code {
+		case FmtPlain, FmtEdgeW, FmtVertexW, FmtVertexEdgeW:
+		default:
+			return nil, fmt.Errorf("chaco: unsupported fmt code %d", c)
+		}
+	}
+
+	g := New(n)
+	if code.hasVertexWeights() {
+		g.VertexWeight = make([]int, n)
+	}
+	type half struct {
+		to NodeID
+		w  int
+	}
+	adj := make([][]half, n)
+	for v := 0; v < n; v++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("chaco: vertex %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if code.hasVertexWeights() {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("chaco: vertex %d: missing vertex weight", v+1)
+			}
+			w, err := strconv.Atoi(toks[0])
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("chaco: vertex %d: bad vertex weight %q", v+1, toks[0])
+			}
+			g.VertexWeight[v] = w
+			i = 1
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("chaco: vertex %d: bad neighbor %q", v+1, toks[i])
+			}
+			i++
+			w := 1
+			if code.hasEdgeWeights() {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("chaco: vertex %d: neighbor %d missing edge weight", v+1, u)
+				}
+				w, err = strconv.Atoi(toks[i])
+				if err != nil || w < 0 {
+					return nil, fmt.Errorf("chaco: vertex %d: bad edge weight %q", v+1, toks[i])
+				}
+				i++
+			}
+			if u-1 == v {
+				return nil, fmt.Errorf("chaco: vertex %d: self-loop", v+1)
+			}
+			adj[v] = append(adj[v], half{to: NodeID(u - 1), w: w})
+		}
+	}
+	// Assemble via AddEdge from the lower endpoint so symmetry and weight
+	// agreement are verified during construction.
+	for v := 0; v < n; v++ {
+		for _, h := range adj[v] {
+			if NodeID(v) < h.to {
+				if err := g.AddEdge(NodeID(v), h.to, h.w); err != nil {
+					return nil, fmt.Errorf("chaco: %w", err)
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("chaco: invalid graph: %w", err)
+	}
+	// Verify the file was symmetric: every recorded half-edge must exist,
+	// with a matching weight.
+	for v := 0; v < n; v++ {
+		for _, h := range adj[v] {
+			if !g.HasEdge(NodeID(v), h.to) {
+				return nil, fmt.Errorf("chaco: asymmetric adjacency: %d lists %d but not vice versa", v+1, h.to+1)
+			}
+			if code.hasEdgeWeights() && g.edgeWeightLookup(NodeID(v), h.to) != h.w {
+				return nil, fmt.Errorf("chaco: edge (%d,%d) has inconsistent weights", v+1, h.to+1)
+			}
+		}
+	}
+	if got := g.NumEdges(); got != m {
+		return nil, fmt.Errorf("chaco: header declares %d edges, file contains %d", m, got)
+	}
+	return g, nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' || line[0] == '#' {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// WriteChaco writes g in Chaco format with the given weight code. Writing
+// with a code that requires weights the graph lacks emits uniform weight 1.
+func WriteChaco(w io.Writer, g *Graph, code FmtCode) error {
+	switch code {
+	case FmtPlain, FmtEdgeW, FmtVertexW, FmtVertexEdgeW:
+	default:
+		return fmt.Errorf("chaco: unsupported fmt code %d", code)
+	}
+	bw := bufio.NewWriter(w)
+	if code == FmtPlain {
+		fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges())
+	} else {
+		fmt.Fprintf(bw, "%d %d %d\n", g.NumVertices(), g.NumEdges(), int(code))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		first := true
+		if code.hasVertexWeights() {
+			fmt.Fprintf(bw, "%d", g.WeightOf(NodeID(v)))
+			first = false
+		}
+		for i, u := range g.Adj[v] {
+			if !first {
+				fmt.Fprint(bw, " ")
+			}
+			first = false
+			fmt.Fprintf(bw, "%d", u+1)
+			if code.hasEdgeWeights() {
+				fmt.Fprintf(bw, " %d", g.EdgeWeightAt(NodeID(v), i))
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

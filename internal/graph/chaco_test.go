@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, g *Graph, code FmtCode) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChaco(&buf, g, code); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadChaco(&buf)
+	if err != nil {
+		t.Fatalf("ReadChaco: %v\nfile:\n%s", err, buf.String())
+	}
+	return out
+}
+
+func adjEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() {
+		return false
+	}
+	for v := range a.Adj {
+		if len(a.Adj[v]) != len(b.Adj[v]) {
+			return false
+		}
+		for i := range a.Adj[v] {
+			if a.Adj[v][i] != b.Adj[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestChacoRoundTripPlain(t *testing.T) {
+	g := mustHex(t, 4, 8)
+	out := roundTrip(t, g, FmtPlain)
+	if !adjEqual(g, out) {
+		t.Fatal("plain round trip changed adjacency")
+	}
+}
+
+func TestChacoRoundTripAllFormats(t *testing.T) {
+	g := mustHex(t, 3, 4)
+	g.VertexWeight = make([]int, g.NumVertices())
+	for i := range g.VertexWeight {
+		g.VertexWeight[i] = i%3 + 1
+	}
+	g.ensureEdgeWeights()
+	for v := range g.EdgeWeight {
+		for i := range g.EdgeWeight[v] {
+			u := g.Adj[v][i]
+			g.EdgeWeight[v][i] = int(NodeID(v)+u)%5 + 1 // symmetric by construction
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range []FmtCode{FmtPlain, FmtEdgeW, FmtVertexW, FmtVertexEdgeW} {
+		out := roundTrip(t, g, code)
+		if !adjEqual(g, out) {
+			t.Fatalf("fmt %d: adjacency changed", code)
+		}
+		if code.hasVertexWeights() {
+			for v := range g.VertexWeight {
+				if out.VertexWeight[v] != g.VertexWeight[v] {
+					t.Fatalf("fmt %d: vertex weight %d changed", code, v)
+				}
+			}
+		}
+		if code.hasEdgeWeights() {
+			for v := range g.EdgeWeight {
+				for i := range g.EdgeWeight[v] {
+					if out.EdgeWeight[v][i] != g.EdgeWeight[v][i] {
+						t.Fatalf("fmt %d: edge weight (%d,%d) changed", code, v, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChacoReadThesisStyleFile(t *testing.T) {
+	// A 4-node cycle in the exact layout the thesis' InitializeGraph
+	// expects: header "n m fmt", then 1-based neighbor lists.
+	in := `4 4 0
+2 4
+1 3
+2 4
+1 3
+`
+	g, err := ReadChaco(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 3) || g.HasEdge(0, 2) {
+		t.Fatal("wrong adjacency")
+	}
+}
+
+func TestChacoCommentsAndBlankLines(t *testing.T) {
+	in := `% comment
+# another comment
+
+3 2
+2
+
+% middle comment
+1 3
+2
+`
+	g, err := ReadChaco(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	_ = g
+}
+
+func TestChacoVertexWeights(t *testing.T) {
+	in := "2 1 10\n5 2\n7 1\n"
+	g, err := ReadChaco(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexWeight[0] != 5 || g.VertexWeight[1] != 7 {
+		t.Fatalf("vertex weights %v", g.VertexWeight)
+	}
+}
+
+func TestChacoEdgeWeights(t *testing.T) {
+	in := "3 2 1\n2 4\n1 4 3 9\n2 9\n"
+	g, err := ReadChaco(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g.edgeWeightLookup(0, 1); w != 4 {
+		t.Fatalf("weight(0,1) = %d", w)
+	}
+	if w := g.edgeWeightLookup(1, 2); w != 9 {
+		t.Fatalf("weight(1,2) = %d", w)
+	}
+}
+
+func TestChacoRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"bad header":         "x y\n",
+		"one field header":   "4\n",
+		"bad fmt":            "2 1 7\n2\n1\n",
+		"neighbor zero":      "2 1\n2\n0\n",
+		"neighbor too big":   "2 1\n2\n3\n",
+		"self loop":          "2 1\n1\n2\n",
+		"asymmetric":         "3 1\n2\n\n\n",
+		"wrong edge count":   "2 5\n2\n1\n",
+		"missing rows":       "3 2\n2\n1\n",
+		"missing edgeweight": "2 1 1\n2\n1 4\n",
+		"weight mismatch":    "2 1 1\n2 4\n1 5\n",
+		"negative vweight":   "2 1 10\n-1 2\n1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadChaco(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted malformed input %q", name, in)
+		}
+	}
+}
+
+func TestWriteChacoRejectsBadCode(t *testing.T) {
+	g := mustHex(t, 2, 2)
+	var buf bytes.Buffer
+	if err := WriteChaco(&buf, g, FmtCode(7)); err == nil {
+		t.Fatal("accepted fmt 7")
+	}
+}
+
+// Property: random graph -> Chaco -> graph is the identity on adjacency
+// for all four format codes.
+func TestQuickChacoRoundTrip(t *testing.T) {
+	codes := []FmtCode{FmtPlain, FmtEdgeW, FmtVertexW, FmtVertexEdgeW}
+	f := func(seed int64, nRaw uint8, codeIdx uint8) bool {
+		n := int(nRaw%40) + 2
+		g, err := Random(n, 0.2, seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteChaco(&buf, g, codes[int(codeIdx)%len(codes)]); err != nil {
+			return false
+		}
+		out, err := ReadChaco(&buf)
+		if err != nil {
+			return false
+		}
+		return adjEqual(g, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chaco coordinates sidecar format: the Chaco graph format carries no
+// geometry, so mesh partitioners read an accompanying ".xyz" file with one
+// line of coordinates per vertex. This package reads and writes the
+// two-dimensional integer variant used by the platform's hex grids; the
+// geometric partitioners (row/column/rectangular bands, BF gray-code, RCB)
+// need these coordinates when graphs come from files.
+
+// ReadCoords parses a coordinates file: one "row col" pair per line, in
+// vertex order, with '%'/'#' comments and blank lines permitted. n is the
+// expected vertex count.
+func ReadCoords(r io.Reader, n int) ([]Coord, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("coords: negative vertex count %d", n)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	out := make([]Coord, 0, n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("coords: line %d: want 'row col', got %q", len(out)+1, line)
+		}
+		row, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("coords: line %d: bad row %q", len(out)+1, fields[0])
+		}
+		col, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("coords: line %d: bad col %q", len(out)+1, fields[1])
+		}
+		if len(out) == n {
+			return nil, fmt.Errorf("coords: more than %d coordinate lines", n)
+		}
+		out = append(out, Coord{Row: row, Col: col})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("coords: got %d coordinate lines, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// WriteCoords writes g's coordinates in the sidecar format. It is an error
+// if the graph has no coordinates.
+func WriteCoords(w io.Writer, g *Graph) error {
+	if g.Coords == nil {
+		return fmt.Errorf("coords: graph %q has no coordinates", g.Name)
+	}
+	bw := bufio.NewWriter(w)
+	for _, c := range g.Coords {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", c.Row, c.Col); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// AttachHexCoords assigns row-major hex-grid coordinates to a graph read
+// from a Chaco file: vertex v gets (v/cols, v%cols). rows*cols must equal
+// the vertex count. This recovers the geometry of generator-produced hex
+// grids whose Chaco serialization dropped it.
+func AttachHexCoords(g *Graph, rows, cols int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("coords: dimensions must be positive, got %dx%d", rows, cols)
+	}
+	if rows*cols != g.NumVertices() {
+		return fmt.Errorf("coords: %dx%d = %d does not match %d vertices", rows, cols, rows*cols, g.NumVertices())
+	}
+	coords := make([]Coord, g.NumVertices())
+	for v := range coords {
+		coords[v] = Coord{Row: v / cols, Col: v % cols}
+	}
+	g.Coords = coords
+	return nil
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordsRoundTrip(t *testing.T) {
+	g, err := HexGrid(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCoords(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	coords, err := ReadCoords(&buf, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range coords {
+		if coords[v] != g.Coords[v] {
+			t.Fatalf("vertex %d: %v != %v", v, coords[v], g.Coords[v])
+		}
+	}
+}
+
+func TestWriteCoordsRequiresCoords(t *testing.T) {
+	g, err := Random(5, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCoords(&buf, g); err == nil {
+		t.Fatal("graph without coordinates accepted")
+	}
+}
+
+func TestReadCoordsCommentsAndValidation(t *testing.T) {
+	in := "% header\n0 0\n\n# mid\n0 1\n1 0\n1 1\n"
+	coords, err := ReadCoords(strings.NewReader(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coords[3] != (Coord{Row: 1, Col: 1}) {
+		t.Fatalf("coords[3] = %v", coords[3])
+	}
+	bad := map[string]string{
+		"short":      "0 0\n",
+		"long":       "0 0\n0 1\n1 0\n1 1\n2 2\n",
+		"three cols": "0 0 0\n0 1\n1 0\n1 1\n",
+		"non-int":    "a 0\n0 1\n1 0\n1 1\n",
+	}
+	for name, in := range bad {
+		if _, err := ReadCoords(strings.NewReader(in), 4); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadCoords(strings.NewReader(""), -1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestAttachHexCoords(t *testing.T) {
+	g, err := HexGrid(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]Coord(nil), g.Coords...)
+	g.Coords = nil
+	if err := AttachHexCoords(g, 4, 6); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if g.Coords[v] != want[v] {
+			t.Fatalf("vertex %d: %v != %v", v, g.Coords[v], want[v])
+		}
+	}
+	if err := AttachHexCoords(g, 3, 6); err == nil {
+		t.Fatal("mismatched dimensions accepted")
+	}
+	if err := AttachHexCoords(g, 0, 6); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+// Property: write/read round-trip is the identity for arbitrary hex grids.
+func TestQuickCoordsRoundTrip(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		rows := int(rRaw%10) + 1
+		cols := int(cRaw%10) + 1
+		g, err := HexGrid(rows, cols)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCoords(&buf, g); err != nil {
+			return false
+		}
+		coords, err := ReadCoords(&buf, g.NumVertices())
+		if err != nil {
+			return false
+		}
+		for v := range coords {
+			if coords[v] != g.Coords[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

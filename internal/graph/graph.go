@@ -1,0 +1,319 @@
+// Package graph provides the application program graph representation used
+// throughout the iC2mpi platform: an undirected graph with optional vertex
+// and edge weights and optional planar coordinates (used by the band
+// partitioners and the battlefield hex terrain).
+//
+// The package also implements the Chaco/Metis file format the thesis feeds
+// to its partitioners (fmt codes 0, 1, 10 and 11) and generators for every
+// topology in the evaluation: hexagonal grids, connected random graphs and
+// rectangular hex meshes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. Following the thesis (and Chaco), external
+// representations are 1-based; in-memory IDs are 0-based.
+type NodeID int32
+
+// Coord is an optional planar embedding of a vertex, used by the geometric
+// band partitioners and by the hexagonal terrain of the battlefield
+// simulation. Row/Col follow "odd-r" offset coordinates for hex grids.
+type Coord struct {
+	Row, Col int
+}
+
+// Graph is an undirected graph in adjacency-list form. Adjacency lists are
+// sorted and contain no self-loops or duplicates; every edge appears in
+// both endpoint lists (the symmetry invariant, checked by Validate).
+type Graph struct {
+	// Adj[v] lists the neighbors of v in increasing order.
+	Adj [][]NodeID
+	// VertexWeight[v] is the computational weight of v; nil means uniform
+	// weight 1 (Chaco fmt 0 or 1).
+	VertexWeight []int
+	// EdgeWeight[v][i] is the weight of edge (v, Adj[v][i]); nil means
+	// uniform weight 1. Parallel to Adj and symmetric.
+	EdgeWeight [][]int
+	// Coords[v] is an optional planar embedding; nil when the graph has no
+	// geometry (e.g. random graphs).
+	Coords []Coord
+	// Name labels the graph in reports ("64-node Hexagonal Grid", ...).
+	Name string
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	return &Graph{Adj: make([][]NodeID, n)}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.Adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.Adj[v]) }
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.Adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether (u, v) is an edge. O(log deg) via binary search
+// on the sorted adjacency list.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	nbrs := g.Adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// AddEdge inserts the undirected edge (u, v) with weight w, keeping
+// adjacency lists sorted. Adding an existing edge or a self-loop is an
+// error: the platform's shadow-node bookkeeping assumes simple graphs.
+func (g *Graph) AddEdge(u, v NodeID, w int) error {
+	n := NodeID(len(g.Adj))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.insertHalf(u, v, w)
+	g.insertHalf(v, u, w)
+	return nil
+}
+
+func (g *Graph) insertHalf(u, v NodeID, w int) {
+	// Materialize weights before touching the adjacency so the uniform
+	// backfill only covers pre-existing edges.
+	if g.EdgeWeight == nil && w != 1 {
+		g.ensureEdgeWeights()
+	}
+	nbrs := g.Adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	nbrs = append(nbrs, 0)
+	copy(nbrs[i+1:], nbrs[i:])
+	nbrs[i] = v
+	g.Adj[u] = nbrs
+	if g.EdgeWeight != nil {
+		ws := g.EdgeWeight[u]
+		ws = append(ws, 0)
+		copy(ws[i+1:], ws[i:])
+		ws[i] = w
+		g.EdgeWeight[u] = ws
+	}
+}
+
+// ensureEdgeWeights materializes the edge weight arrays with uniform weight
+// 1 for all existing edges.
+func (g *Graph) ensureEdgeWeights() {
+	if g.EdgeWeight != nil {
+		return
+	}
+	g.EdgeWeight = make([][]int, len(g.Adj))
+	for v, nbrs := range g.Adj {
+		ws := make([]int, len(nbrs))
+		for i := range ws {
+			ws[i] = 1
+		}
+		g.EdgeWeight[v] = ws
+	}
+}
+
+// WeightOf returns the vertex weight of v (1 when weights are uniform).
+func (g *Graph) WeightOf(v NodeID) int {
+	if g.VertexWeight == nil {
+		return 1
+	}
+	return g.VertexWeight[v]
+}
+
+// EdgeWeightAt returns the weight of the i-th incident edge of v.
+func (g *Graph) EdgeWeightAt(v NodeID, i int) int {
+	if g.EdgeWeight == nil {
+		return 1
+	}
+	return g.EdgeWeight[v][i]
+}
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int {
+	if g.VertexWeight == nil {
+		return len(g.Adj)
+	}
+	sum := 0
+	for _, w := range g.VertexWeight {
+		sum += w
+	}
+	return sum
+}
+
+// Validate checks structural invariants: sorted unique adjacency, no
+// self-loops, symmetric edges with symmetric weights, and weight slices of
+// the right length. The platform refuses graphs that fail validation.
+func (g *Graph) Validate() error {
+	n := NodeID(len(g.Adj))
+	if g.VertexWeight != nil && len(g.VertexWeight) != int(n) {
+		return fmt.Errorf("graph: VertexWeight length %d != %d vertices", len(g.VertexWeight), n)
+	}
+	if g.EdgeWeight != nil && len(g.EdgeWeight) != int(n) {
+		return fmt.Errorf("graph: EdgeWeight length %d != %d vertices", len(g.EdgeWeight), n)
+	}
+	if g.Coords != nil && len(g.Coords) != int(n) {
+		return fmt.Errorf("graph: Coords length %d != %d vertices", len(g.Coords), n)
+	}
+	for v := NodeID(0); v < n; v++ {
+		nbrs := g.Adj[v]
+		if g.EdgeWeight != nil && len(g.EdgeWeight[v]) != len(nbrs) {
+			return fmt.Errorf("graph: vertex %d has %d edge weights for %d neighbors", v, len(g.EdgeWeight[v]), len(nbrs))
+		}
+		for i, u := range nbrs {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && nbrs[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not sorted/unique at position %d", v, i)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: edge (%d,%d) present but (%d,%d) missing", v, u, u, v)
+			}
+			if g.EdgeWeight != nil {
+				if w, wr := g.edgeWeightLookup(v, u), g.edgeWeightLookup(u, v); w != wr {
+					return fmt.Errorf("graph: asymmetric weight on edge (%d,%d): %d vs %d", v, u, w, wr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) edgeWeightLookup(u, v NodeID) int {
+	if g.EdgeWeight == nil {
+		return 1
+	}
+	nbrs := g.Adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return g.EdgeWeight[u][i]
+}
+
+// Connected reports whether the graph is connected (true for the empty
+// graph and single vertices).
+func (g *Graph) Connected() bool {
+	n := len(g.Adj)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == n
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{Name: g.Name, Adj: make([][]NodeID, len(g.Adj))}
+	for v, nbrs := range g.Adj {
+		out.Adj[v] = append([]NodeID(nil), nbrs...)
+	}
+	if g.VertexWeight != nil {
+		out.VertexWeight = append([]int(nil), g.VertexWeight...)
+	}
+	if g.EdgeWeight != nil {
+		out.EdgeWeight = make([][]int, len(g.EdgeWeight))
+		for v, ws := range g.EdgeWeight {
+			out.EdgeWeight[v] = append([]int(nil), ws...)
+		}
+	}
+	if g.Coords != nil {
+		out.Coords = append([]Coord(nil), g.Coords...)
+	}
+	return out
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different parts under the given node-to-part assignment. part must have
+// one entry per vertex.
+func (g *Graph) EdgeCut(part []int) (int, error) {
+	if len(part) != len(g.Adj) {
+		return 0, fmt.Errorf("graph: partition length %d != %d vertices", len(part), len(g.Adj))
+	}
+	cut := 0
+	for v, nbrs := range g.Adj {
+		for i, u := range nbrs {
+			if part[v] != part[u] {
+				cut += g.EdgeWeightAt(NodeID(v), i)
+			}
+		}
+	}
+	return cut / 2, nil
+}
+
+// PartWeights returns the total vertex weight assigned to each of k parts.
+func (g *Graph) PartWeights(part []int, k int) ([]int, error) {
+	if len(part) != len(g.Adj) {
+		return nil, fmt.Errorf("graph: partition length %d != %d vertices", len(part), len(g.Adj))
+	}
+	w := make([]int, k)
+	for v, p := range part {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("graph: vertex %d assigned to invalid part %d of %d", v, p, k)
+		}
+		w[p] += g.WeightOf(NodeID(v))
+	}
+	return w, nil
+}
+
+// Imbalance returns max(partWeight)*k/totalWeight, the standard partition
+// balance metric (1.0 = perfect).
+func (g *Graph) Imbalance(part []int, k int) (float64, error) {
+	w, err := g.PartWeights(part, k)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	max := 0
+	for _, x := range w {
+		total += x
+		if x > max {
+			max = x
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(max) * float64(k) / float64(total), nil
+}

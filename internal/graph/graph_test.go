@@ -1,0 +1,385 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, rows, cols int) *Graph {
+	t.Helper()
+	g, err := HexGrid(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewEmptyGraph(t *testing.T) {
+	g := New(5)
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if err := g.AddEdge(0, 1, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 7, 1); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeWeights(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.edgeWeightLookup(0, 1); w != 3 {
+		t.Fatalf("weight(0,1) = %d, want 3", w)
+	}
+	if w := g.edgeWeightLookup(2, 1); w != 1 {
+		t.Fatalf("weight(2,1) = %d, want 1", w)
+	}
+}
+
+func TestHexGridSizes(t *testing.T) {
+	cases := []struct {
+		rows, cols, wantN int
+	}{
+		{4, 8, 32}, {8, 8, 64}, {8, 12, 96}, {32, 32, 1024}, {1, 1, 1},
+	}
+	for _, tc := range cases {
+		g := mustHex(t, tc.rows, tc.cols)
+		if g.NumVertices() != tc.wantN {
+			t.Errorf("%dx%d: %d vertices, want %d", tc.rows, tc.cols, g.NumVertices(), tc.wantN)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%dx%d: %v", tc.rows, tc.cols, err)
+		}
+		if !g.Connected() {
+			t.Errorf("%dx%d: not connected", tc.rows, tc.cols)
+		}
+		if g.MaxDegree() > 6 {
+			t.Errorf("%dx%d: degree %d > 6 in hex grid", tc.rows, tc.cols, g.MaxDegree())
+		}
+	}
+}
+
+func TestHexGridInteriorDegreeIsSix(t *testing.T) {
+	g := mustHex(t, 8, 8)
+	for v := 0; v < g.NumVertices(); v++ {
+		c := g.Coords[v]
+		if c.Row > 0 && c.Row < 7 && c.Col > 0 && c.Col < 7 {
+			if d := g.Degree(NodeID(v)); d != 6 {
+				t.Errorf("interior hex (%d,%d) degree %d, want 6", c.Row, c.Col, d)
+			}
+		}
+	}
+}
+
+func TestHexNeighborOffsetsConsistency(t *testing.T) {
+	// Moving in direction d then in the opposite direction (d+3)%6 must
+	// return to the start, for both row parities.
+	for r := 0; r < 2; r++ {
+		offs := HexNeighborOffsets(r)
+		for d := 0; d < 6; d++ {
+			nr := r + offs[d].Row
+			nc := 10 + offs[d].Col
+			back := HexNeighborOffsets(((nr % 2) + 2) % 2)[(d+3)%6]
+			if nr+back.Row != r || nc+back.Col != 10 {
+				t.Errorf("parity %d dir %d: round trip landed at (%d,%d)", r, d, nr+back.Row, nc+back.Col)
+			}
+		}
+	}
+}
+
+func TestHexGridRejectsBadDims(t *testing.T) {
+	if _, err := HexGrid(0, 5); err == nil {
+		t.Fatal("accepted 0 rows")
+	}
+	if _, err := HexGrid(5, -1); err == nil {
+		t.Fatal("accepted negative cols")
+	}
+}
+
+func TestRandomGraphConnectedAndDeterministic(t *testing.T) {
+	a, err := Random(50, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Connected() {
+		t.Fatal("random graph not connected")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(50, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Adj, b.Adj) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := Random(50, 0.1, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Adj, c.Adj) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestRandomGraphParamValidation(t *testing.T) {
+	if _, err := Random(0, 0.5, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := Random(5, -0.1, 1); err == nil {
+		t.Fatal("accepted p<0")
+	}
+	if _, err := Random(5, 1.5, 1); err == nil {
+		t.Fatal("accepted p>1")
+	}
+}
+
+func TestPaperTopologies(t *testing.T) {
+	for _, n := range []int{32, 64, 96} {
+		g, err := PaperHexGrid(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVertices() != n {
+			t.Errorf("PaperHexGrid(%d) has %d vertices", n, g.NumVertices())
+		}
+	}
+	if _, err := PaperHexGrid(48); err == nil {
+		t.Error("PaperHexGrid(48) should fail")
+	}
+	for _, n := range []int{32, 64} {
+		g, err := PaperRandom(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVertices() != n || !g.Connected() {
+			t.Errorf("PaperRandom(%d): %d vertices connected=%v", n, g.NumVertices(), g.Connected())
+		}
+	}
+	if _, err := PaperRandom(96); err == nil {
+		t.Error("PaperRandom(96) should fail")
+	}
+}
+
+func TestPathAndComplete(t *testing.T) {
+	p, err := Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEdges() != 4 || !p.Connected() {
+		t.Fatalf("path: %d edges connected=%v", p.NumEdges(), p.Connected())
+	}
+	k, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumEdges() != 15 {
+		t.Fatalf("K6 has %d edges", k.NumEdges())
+	}
+	if _, err := Path(0); err == nil {
+		t.Error("Path(0) should fail")
+	}
+	if _, err := Complete(-1); err == nil {
+		t.Error("Complete(-1) should fail")
+	}
+}
+
+func TestConnectedDetectsDisconnection(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatal("two components reported connected")
+	}
+}
+
+func TestEdgeCutAndPartWeights(t *testing.T) {
+	g := mustHex(t, 2, 2) // 4 nodes
+	part := []int{0, 0, 1, 1}
+	cut, err := g.EdgeCut(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count edges crossing rows in a 2x2 odd-r hex grid directly.
+	want := 0
+	for v, nbrs := range g.Adj {
+		for _, u := range nbrs {
+			if part[v] != part[u] {
+				want++
+			}
+		}
+	}
+	want /= 2
+	if cut != want {
+		t.Fatalf("cut = %d, want %d", cut, want)
+	}
+	w, err := g.PartWeights(part, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 2 || w[1] != 2 {
+		t.Fatalf("part weights %v", w)
+	}
+	bal, err := g.Imbalance(part, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 1.0 {
+		t.Fatalf("imbalance %v, want 1.0", bal)
+	}
+}
+
+func TestEdgeCutValidation(t *testing.T) {
+	g := mustHex(t, 2, 2)
+	if _, err := g.EdgeCut([]int{0, 0}); err == nil {
+		t.Fatal("short partition accepted")
+	}
+	if _, err := g.PartWeights([]int{0, 0, 0, 9}, 2); err == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := mustHex(t, 3, 3)
+	g.VertexWeight = make([]int, 9)
+	for i := range g.VertexWeight {
+		g.VertexWeight[i] = i
+	}
+	c := g.Clone()
+	c.Adj[0][0] = 99
+	c.VertexWeight[3] = -1
+	c.Coords[2] = Coord{9, 9}
+	if g.Adj[0][0] == 99 || g.VertexWeight[3] == -1 || g.Coords[2].Row == 9 {
+		t.Fatal("Clone shares memory with original")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := mustHex(t, 2, 3)
+	g.Adj[0] = append(g.Adj[0], 0) // self loop at the end
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed self-loop")
+	}
+	g = mustHex(t, 2, 3)
+	g.Adj[0] = g.Adj[0][:len(g.Adj[0])-1] // break symmetry
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed asymmetry")
+	}
+	g = mustHex(t, 2, 3)
+	g.VertexWeight = []int{1} // wrong length
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed wrong VertexWeight length")
+	}
+}
+
+// Property: random graphs over arbitrary seeds always validate, are
+// connected, and have symmetric adjacency.
+func TestQuickRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		p := float64(pRaw%1000) / 1000
+		g, err := Random(n, p, seed)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every partition has EdgeCut >= 0 and sum(PartWeights) equals
+// the total vertex weight.
+func TestQuickPartitionMetrics(t *testing.T) {
+	g, err := Random(40, 0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		part := make([]int, g.NumVertices())
+		for i := range part {
+			part[i] = rng.Intn(k)
+		}
+		cut, err := g.EdgeCut(part)
+		if err != nil || cut < 0 || cut > g.NumEdges() {
+			return false
+		}
+		w, err := g.PartWeights(part, k)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, x := range w {
+			sum += x
+		}
+		return sum == g.TotalVertexWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hex grid round-trip through direction offsets — every edge in
+// the grid corresponds to exactly one of the six direction offsets.
+func TestHexGridEdgesMatchOffsets(t *testing.T) {
+	g := mustHex(t, 6, 7)
+	for v := 0; v < g.NumVertices(); v++ {
+		c := g.Coords[v]
+		offs := HexNeighborOffsets(c.Row)
+		for _, u := range g.Adj[v] {
+			cu := g.Coords[u]
+			found := false
+			for _, d := range offs {
+				if c.Row+d.Row == cu.Row && c.Col+d.Col == cu.Col {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d)->(%d,%d) not a hex direction", c.Row, c.Col, cu.Row, cu.Col)
+			}
+		}
+	}
+}

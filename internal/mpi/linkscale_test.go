@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ic2mpi/internal/vtime"
+)
+
+func TestLinkScaleMultipliesWireCost(t *testing.T) {
+	cost := vtime.CostModel{Latency: 1e-3}
+	opts := Options{
+		Procs: 2,
+		Cost:  cost,
+		LinkScale: func(src, dst int) float64 {
+			return 3 // every pair three hops away
+		},
+	}
+	err := Run(opts, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, "x", 0)
+		}
+		if _, err := c.Recv(0, 0); err != nil {
+			return err
+		}
+		want := 3e-3 // scaled latency
+		if got := c.Wtime(); math.Abs(got-want) > 1e-12 {
+			return fmt.Errorf("Wtime = %v, want %v", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkScaleZeroOrNegativeIgnored(t *testing.T) {
+	cost := vtime.CostModel{Latency: 1e-3}
+	opts := Options{
+		Procs:     2,
+		Cost:      cost,
+		LinkScale: func(src, dst int) float64 { return 0 },
+	}
+	err := Run(opts, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, "x", 0)
+		}
+		if _, err := c.Recv(0, 0); err != nil {
+			return err
+		}
+		// Non-positive scale falls back to the unscaled wire cost.
+		if got := c.Wtime(); math.Abs(got-1e-3) > 1e-12 {
+			return fmt.Errorf("Wtime = %v, want 1e-3", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkScaleAsymmetricPairs(t *testing.T) {
+	// Distinct per-pair scales must be honored independently.
+	cost := vtime.CostModel{Latency: 1e-3}
+	opts := Options{
+		Procs: 3,
+		Cost:  cost,
+		LinkScale: func(src, dst int) float64 {
+			return float64(src + dst) // (0,1)=1, (0,2)=2
+		},
+	}
+	err := Run(opts, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 0, nil, 0); err != nil {
+				return err
+			}
+			return c.Send(2, 0, nil, 0)
+		case 1:
+			if _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+			if got := c.Wtime(); math.Abs(got-1e-3) > 1e-12 {
+				return fmt.Errorf("rank 1 Wtime = %v, want 1e-3", got)
+			}
+		case 2:
+			if _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+			// Rank 0 sends to 1 first then 2, both Isends are free of
+			// overheads here, so arrival = 2 * latency.
+			if got := c.Wtime(); math.Abs(got-2e-3) > 1e-12 {
+				return fmt.Errorf("rank 2 Wtime = %v, want 2e-3", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressRandomTraffic exercises the runtime with a seeded random
+// communication pattern: every rank sends a deterministic pseudo-random
+// set of messages; the matching receives verify payload integrity and the
+// run must terminate without deadlock.
+func TestStressRandomTraffic(t *testing.T) {
+	const procs = 9
+	const rounds = 30
+	err := Run(Options{Procs: procs, Cost: vtime.Zero()}, func(c *Comm) error {
+		for round := 0; round < rounds; round++ {
+			// Deterministic plan shared by all ranks: sender s sends to
+			// (s + round*k) % procs for k = 1..(round%3+1).
+			fanout := round%3 + 1
+			for k := 1; k <= fanout; k++ {
+				dst := (c.Rank() + round*k + 1) % procs
+				payload := c.Rank()*1000000 + round*1000 + k
+				if err := c.Isend(dst, round*10+k, payload, 8); err != nil {
+					return err
+				}
+			}
+			for k := 1; k <= fanout; k++ {
+				// Invert the mapping: src + round*k + 1 = me (mod procs).
+				src := ((c.Rank()-round*k-1)%procs + procs) % procs
+				p, err := c.Recv(src, round*10+k)
+				if err != nil {
+					return err
+				}
+				want := src*1000000 + round*1000 + k
+				if p.(int) != want {
+					return fmt.Errorf("round %d k %d: got %d want %d", round, k, p, want)
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressCollectivesLargeWorld runs the collective suite at an odd,
+// larger world size.
+func TestStressCollectivesLargeWorld(t *testing.T) {
+	const procs = 23
+	err := Run(Options{Procs: procs, Cost: vtime.Zero()}, func(c *Comm) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		_ = rng
+		for root := 0; root < procs; root += 5 {
+			v, err := c.Bcast(root, c.Rank()*0+root*7, 8)
+			if err != nil {
+				return err
+			}
+			if v.(int) != root*7 {
+				return fmt.Errorf("bcast root %d: got %v", root, v)
+			}
+			sum, err := c.AllreduceSumInt(1)
+			if err != nil {
+				return err
+			}
+			if sum != procs {
+				return fmt.Errorf("allreduce sum = %d", sum)
+			}
+		}
+		all, err := c.Allgather(c.Rank(), 8)
+		if err != nil {
+			return err
+		}
+		for r, v := range all {
+			if v.(int) != r {
+				return fmt.Errorf("allgather slot %d = %v", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package mpi is an in-process SPMD message-passing runtime that stands in
+// for MPI in this reproduction of the iC2mpi platform.
+//
+// The original system ran as MPI processes on an SGI Origin 2000. Pure-Go,
+// stdlib-only code has no viable MPI bindings, so this package executes the
+// same single-program-multiple-data structure with one goroutine per rank
+// and channels/condition variables as the interconnect. Point-to-point
+// operations (Send, Isend, Recv, Irecv, Wait), collectives (Barrier, Bcast,
+// Gather, Allgather, Reduce, Allreduce) and Wtime mirror the MPI calls the
+// thesis' appendices use.
+//
+// The runtime supports two clock modes:
+//
+//   - Virtual (default): every rank owns a vtime.Clock. Computation charged
+//     with Comm.Charge and message transfer costed by a vtime.CostModel
+//     advance the clocks; matching receives synchronize receiver time with
+//     message arrival time; collectives synchronize all participants. The
+//     resulting timeline is deterministic and independent of the host's
+//     goroutine scheduling, which is what lets a 1-CPU machine reproduce
+//     16-processor speedup curves.
+//   - Real: Wtime reads the wall clock and Charge spins. Used by tests that
+//     exercise the runtime as an actual concurrency substrate.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ic2mpi/internal/vtime"
+)
+
+// AnyTag matches a message with any tag in Recv/Irecv.
+const AnyTag = -1
+
+// ClockMode selects how the runtime accounts for time.
+type ClockMode int
+
+const (
+	// VirtualClock charges virtual costs; Wtime returns simulated seconds.
+	VirtualClock ClockMode = iota
+	// RealClock uses the wall clock; Charge busy-waits.
+	RealClock
+)
+
+// Options configures a World.
+type Options struct {
+	// Procs is the number of ranks (>= 1).
+	Procs int
+	// Cost is the communication cost model used in VirtualClock mode.
+	Cost vtime.CostModel
+	// Mode selects virtual or real time accounting.
+	Mode ClockMode
+	// LinkScale, when non-nil, scales the wire portion of a message's cost
+	// (latency + bytes/bandwidth) by a per-pair factor — e.g. the hop
+	// count between src and dst on a hypercube. It must be deterministic
+	// and safe for concurrent calls. nil means uniform links.
+	LinkScale func(src, dst int) float64
+}
+
+// World owns the shared state of one SPMD execution: mailboxes, the barrier,
+// and the start time for RealClock mode.
+type World struct {
+	procs     int
+	cost      vtime.CostModel
+	mode      ClockMode
+	linkScale func(src, dst int) float64
+	boxes     []*mailbox
+	bar       *barrier
+	start     time.Time
+	failMu    sync.Mutex
+	fail      error
+}
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src, tag int
+	payload  any
+	bytes    int
+	sentAt   float64 // sender virtual clock when Isend returned
+}
+
+// mailbox is the per-rank receive queue. Senders append under mu; receivers
+// scan for the first (src, tag) match.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// barrier is a generation-counting barrier that also synchronizes virtual
+// clocks: every participant contributes its clock, and all leave with the
+// maximum.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	procs   int
+	arrived int
+	gen     uint64
+	maxTime float64
+	// outTime[gen%2] holds the released max for the finishing generation.
+	outTime float64
+}
+
+func newBarrier(procs int) *barrier {
+	b := &barrier{procs: procs}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all procs arrive and returns the maximum clock value
+// contributed by any participant. abort is re-checked whenever the waiter
+// is woken so that a failing sibling rank (which broadcasts on the barrier
+// via wakeAll) unblocks everyone instead of leaving them asleep.
+func (b *barrier) wait(clock float64, abort func() bool) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clock > b.maxTime {
+		b.maxTime = clock
+	}
+	b.arrived++
+	if b.arrived == b.procs {
+		b.outTime = b.maxTime
+		b.maxTime = 0
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.outTime
+	}
+	gen := b.gen
+	for gen == b.gen {
+		if abort != nil && abort() {
+			// Withdraw from the barrier so a later re-entry (there will
+			// not be one — the world is failing) cannot miscount.
+			b.arrived--
+			return clock
+		}
+		b.cond.Wait()
+	}
+	return b.outTime
+}
+
+// Comm is one rank's handle on the world. All methods must be called only
+// from the goroutine that owns the rank.
+type Comm struct {
+	world *World
+	rank  int
+	clock vtime.Clock
+	// sendSeq/recvSeq count operations, exposed in Stats for tests.
+	sent, received int
+	bytesSent      int
+	bytesReceived  int
+}
+
+// Stats reports per-rank message counters, used by tests and by the
+// experiment harness to report communication volume.
+type Stats struct {
+	MessagesSent     int
+	MessagesReceived int
+	BytesSent        int
+	BytesReceived    int
+}
+
+// Stats returns a snapshot of this rank's communication counters.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		MessagesSent:     c.sent,
+		MessagesReceived: c.received,
+		BytesSent:        c.bytesSent,
+		BytesReceived:    c.bytesReceived,
+	}
+}
+
+// Run executes fn as an SPMD program across opts.Procs ranks and blocks
+// until every rank returns. It returns the first error raised by any rank
+// via Comm.Fail, or a panic converted to an error.
+func Run(opts Options, fn func(c *Comm) error) error {
+	if opts.Procs < 1 {
+		return fmt.Errorf("mpi: Procs must be >= 1, got %d", opts.Procs)
+	}
+	if err := opts.Cost.Validate(); err != nil {
+		return err
+	}
+	w := &World{
+		procs:     opts.Procs,
+		cost:      opts.Cost,
+		mode:      opts.Mode,
+		linkScale: opts.LinkScale,
+		bar:       newBarrier(opts.Procs),
+		start:     time.Now(),
+	}
+	w.boxes = make([]*mailbox, opts.Procs)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	var wg sync.WaitGroup
+	wg.Add(opts.Procs)
+	for r := 0; r < opts.Procs; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{world: w, rank: rank}
+			defer func() {
+				if p := recover(); p != nil {
+					w.setFail(fmt.Errorf("mpi: rank %d panicked: %v", rank, p))
+					// Wake everyone so a panicked collective does not hang
+					// sibling ranks forever.
+					w.wakeAll()
+				}
+			}()
+			if err := fn(c); err != nil {
+				w.setFail(fmt.Errorf("mpi: rank %d: %w", rank, err))
+				w.wakeAll()
+			}
+		}(r)
+	}
+	wg.Wait()
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.fail
+}
+
+func (w *World) setFail(err error) {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if w.fail == nil {
+		w.fail = err
+	}
+}
+
+func (w *World) failed() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.fail
+}
+
+// wakeAll broadcasts on every mailbox and the barrier so blocked ranks can
+// observe a failure and unwind.
+func (w *World) wakeAll() {
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.bar.mu.Lock()
+	w.bar.cond.Broadcast()
+	w.bar.mu.Unlock()
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.procs }
+
+// Wtime returns elapsed time in seconds: virtual time in VirtualClock mode,
+// wall time since World start in RealClock mode. It mirrors MPI_Wtime,
+// which the thesis uses for all its measurements.
+func (c *Comm) Wtime() float64 {
+	if c.world.mode == RealClock {
+		return time.Since(c.world.start).Seconds()
+	}
+	return c.clock.Now()
+}
+
+// Charge accounts d seconds of local computation to this rank. In
+// VirtualClock mode the rank's clock advances; in RealClock mode the call
+// busy-waits for d to elapse, mimicking the thesis' dummy grain loops.
+func (c *Comm) Charge(d float64) {
+	if d <= 0 {
+		return
+	}
+	if c.world.mode == RealClock {
+		deadline := time.Now().Add(time.Duration(d * float64(time.Second)))
+		for time.Now().Before(deadline) {
+		}
+		return
+	}
+	c.clock.Advance(d)
+}
+
+// Isend enqueues a message for rank dst without blocking (MPI_Isend with an
+// unbounded system buffer). bytes is the payload size used by the cost
+// model; payload itself is delivered by reference, so callers must not
+// mutate it afterwards (the platform always hands over freshly packed
+// buffers, as the C original does).
+func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
+	if dst < 0 || dst >= c.world.procs {
+		return fmt.Errorf("mpi: Isend from rank %d to invalid rank %d (size %d)", c.rank, dst, c.world.procs)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("mpi: Isend negative byte count %d", bytes)
+	}
+	c.clock.Advance(c.world.cost.SendOverhead)
+	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now()}
+	box := c.world.boxes[dst]
+	box.mu.Lock()
+	box.pending = append(box.pending, m)
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	c.sent++
+	c.bytesSent += bytes
+	return nil
+}
+
+// Send is Isend; with unbounded buffering a blocking standard-mode send
+// completes locally as soon as the message is buffered, exactly like a
+// buffered MPI_Send.
+func (c *Comm) Send(dst, tag int, payload any, bytes int) error {
+	return c.Isend(dst, tag, payload, bytes)
+}
+
+// Recv blocks until a message from src with the given tag (or AnyTag)
+// arrives, removes it from the queue and returns its payload. Matching is
+// FIFO per (src, tag) pair, as MPI guarantees. In VirtualClock mode the
+// receiver's clock advances to the message arrival time plus the receive
+// overhead.
+func (c *Comm) Recv(src, tag int) (any, error) {
+	if src < 0 || src >= c.world.procs {
+		return nil, fmt.Errorf("mpi: Recv on rank %d from invalid rank %d (size %d)", c.rank, src, c.world.procs)
+	}
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	for {
+		if err := c.world.failed(); err != nil {
+			box.mu.Unlock()
+			return nil, fmt.Errorf("mpi: rank %d Recv aborted: sibling rank failed", c.rank)
+		}
+		for i, m := range box.pending {
+			if m.src == src && (tag == AnyTag || m.tag == tag) {
+				box.pending = append(box.pending[:i], box.pending[i+1:]...)
+				box.mu.Unlock()
+				c.completeRecv(m)
+				return m.payload, nil
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+func (c *Comm) completeRecv(m message) {
+	if c.world.mode == VirtualClock {
+		wire := c.world.cost.Latency + float64(m.bytes)*c.world.cost.ByteTime
+		if c.world.linkScale != nil && m.src != c.rank {
+			if s := c.world.linkScale(m.src, c.rank); s > 0 {
+				wire *= s
+			}
+		}
+		// sentAt already includes the sender's SendOverhead charge.
+		c.clock.AdvanceTo(m.sentAt + wire)
+		c.clock.Advance(c.world.cost.RecvOverhead)
+	}
+	c.received++
+	c.bytesReceived += m.bytes
+}
+
+// Request is a pending nonblocking receive started with Irecv and completed
+// with Wait, mirroring MPI_Irecv/MPI_Wait from the thesis' overlapped
+// communication variant (Fig. 8a).
+type Request struct {
+	comm     *Comm
+	src, tag int
+	done     bool
+	payload  any
+}
+
+// Irecv posts a nonblocking receive. The matching message is claimed at
+// Wait time; because matching is per (src, tag) FIFO this is equivalent to
+// posting the receive eagerly.
+func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if src < 0 || src >= c.world.procs {
+		return nil, fmt.Errorf("mpi: Irecv on rank %d from invalid rank %d (size %d)", c.rank, src, c.world.procs)
+	}
+	return &Request{comm: c, src: src, tag: tag}, nil
+}
+
+// Wait blocks until the request's message is available and returns its
+// payload. In VirtualClock mode the waiting rank's clock advances to the
+// later of its own time and the message arrival time — which is exactly
+// what makes overlapping computation with communication profitable in the
+// simulated timeline, as in the real system.
+func (r *Request) Wait() (any, error) {
+	if r.done {
+		return r.payload, fmt.Errorf("mpi: Wait called twice on the same Request")
+	}
+	p, err := r.comm.Recv(r.src, r.tag)
+	if err != nil {
+		return nil, err
+	}
+	r.done = true
+	r.payload = p
+	return p, nil
+}
+
+// Probe reports whether a message from src with the given tag is already
+// queued, without receiving it.
+func (c *Comm) Probe(src, tag int) bool {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, m := range box.pending {
+		if m.src == src && (tag == AnyTag || m.tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Barrier blocks until all ranks arrive. In VirtualClock mode all clocks
+// leave the barrier at the maximum participant time, like a synchronizing
+// MPI_Barrier on dedicated hardware.
+func (c *Comm) Barrier() error {
+	t := c.world.bar.wait(c.clock.Now(), func() bool { return c.world.failed() != nil })
+	if err := c.world.failed(); err != nil {
+		return fmt.Errorf("mpi: rank %d Barrier aborted: sibling rank failed", c.rank)
+	}
+	if c.world.mode == VirtualClock {
+		c.clock.AdvanceTo(t)
+	}
+	return nil
+}
+
+// Fail aborts the world with err; other ranks blocked in Recv/Barrier
+// observe the failure and unwind.
+func (c *Comm) Fail(err error) {
+	c.world.setFail(fmt.Errorf("mpi: rank %d: %w", c.rank, err))
+	c.world.wakeAll()
+}

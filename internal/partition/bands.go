@@ -1,0 +1,205 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/topology"
+)
+
+// Geometric partitioners over the planar coordinates of mesh graphs. The
+// thesis evaluates the battlefield simulation under (iii) row band,
+// (iv) column band and (v) rectangular band partitionings, plus (ii) the
+// gray-code mesh-to-hypercube fine-grained "BF" embedding. All of them
+// require g.Coords.
+
+func requireCoords(g *graph.Graph, who string) error {
+	if g.Coords == nil {
+		return fmt.Errorf("partition: %s requires planar coordinates on the graph", who)
+	}
+	return nil
+}
+
+// byCoord sorts vertex ids by a primary/secondary coordinate.
+func sortedByCoord(g *graph.Graph, rowMajor bool) []int {
+	order := make([]int, g.NumVertices())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := g.Coords[order[a]], g.Coords[order[b]]
+		if rowMajor {
+			if ca.Row != cb.Row {
+				return ca.Row < cb.Row
+			}
+			return ca.Col < cb.Col
+		}
+		if ca.Col != cb.Col {
+			return ca.Col < cb.Col
+		}
+		return ca.Row < cb.Row
+	})
+	return order
+}
+
+// bandAssign splits an ordered vertex list into k equal-count bands.
+func bandAssign(order []int, k int) []int {
+	n := len(order)
+	part := make([]int, n)
+	for i, v := range order {
+		part[v] = i * k / n
+	}
+	return part
+}
+
+// RowBand slices the mesh into k horizontal bands of equal node count
+// (row-major order), so each processor owns a run of consecutive rows.
+type RowBand struct{}
+
+// Name implements Partitioner.
+func (RowBand) Name() string { return "Row Band" }
+
+// Partition implements Partitioner.
+func (RowBand) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: RowBand needs k >= 1, got %d", k)
+	}
+	if err := requireCoords(g, "RowBand"); err != nil {
+		return nil, err
+	}
+	return bandAssign(sortedByCoord(g, true), k), nil
+}
+
+// ColumnBand slices the mesh into k vertical bands of equal node count
+// (column-major order).
+type ColumnBand struct{}
+
+// Name implements Partitioner.
+func (ColumnBand) Name() string { return "Column Band" }
+
+// Partition implements Partitioner.
+func (ColumnBand) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: ColumnBand needs k >= 1, got %d", k)
+	}
+	if err := requireCoords(g, "ColumnBand"); err != nil {
+		return nil, err
+	}
+	return bandAssign(sortedByCoord(g, false), k), nil
+}
+
+// RectBand tiles the mesh with a near-square pr x pc processor grid
+// (pr*pc = k) and assigns each cell to the tile containing it; tiles are
+// sized to hold equal node counts per row/column band.
+type RectBand struct{}
+
+// Name implements Partitioner.
+func (RectBand) Name() string { return "Rectangular" }
+
+// Partition implements Partitioner.
+func (RectBand) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: RectBand needs k >= 1, got %d", k)
+	}
+	if err := requireCoords(g, "RectBand"); err != nil {
+		return nil, err
+	}
+	pr, pc, err := topology.Dims(k)
+	if err != nil {
+		return nil, err
+	}
+	// Row band index over rows, column band index over columns, based on
+	// the distinct coordinate values so ragged meshes still balance.
+	rows := distinctRows(g)
+	cols := distinctCols(g)
+	rowBand := bandIndex(rows, pr)
+	colBand := bandIndex(cols, pc)
+	part := make([]int, g.NumVertices())
+	for v := range part {
+		c := g.Coords[v]
+		part[v] = rowBand[c.Row]*pc + colBand[c.Col]
+	}
+	return part, nil
+}
+
+func distinctRows(g *graph.Graph) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range g.Coords {
+		if !seen[c.Row] {
+			seen[c.Row] = true
+			out = append(out, c.Row)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func distinctCols(g *graph.Graph) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range g.Coords {
+		if !seen[c.Col] {
+			seen[c.Col] = true
+			out = append(out, c.Col)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bandIndex maps each distinct coordinate value to its band in [0, k).
+func bandIndex(values []int, k int) map[int]int {
+	out := make(map[int]int, len(values))
+	for i, v := range values {
+		out[v] = i * k / len(values)
+	}
+	return out
+}
+
+// BFGrayCode is the fine-grained gray-code mesh-to-hypercube embedding of
+// the original battlefield simulator [DMP98]: processors form a pr x pc
+// mesh embedded in the hypercube by gray codes, and hex (r, c) is assigned
+// cyclically to processor position (r mod pr, c mod pc). "A hex and its
+// six neighbors are allocated to different processors" — maximal
+// fine-grained scattering, which maximizes communication and makes this
+// partitioner the pathological case of Tables 8 and Fig. 20.
+type BFGrayCode struct{}
+
+// Name implements Partitioner.
+func (BFGrayCode) Name() string { return "BF Partition" }
+
+// Partition implements Partitioner.
+func (BFGrayCode) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: BFGrayCode needs k >= 1, got %d", k)
+	}
+	if err := requireCoords(g, "BFGrayCode"); err != nil {
+		return nil, err
+	}
+	pr, pc, err := topology.Dims(k)
+	if err != nil {
+		return nil, err
+	}
+	powerOfTwo := k&(k-1) == 0
+	part := make([]int, g.NumVertices())
+	for v := range part {
+		c := g.Coords[v]
+		r := ((c.Row % pr) + pr) % pr
+		cc := ((c.Col % pc) + pc) % pc
+		if powerOfTwo {
+			p, err := topology.MeshToHypercube(r, cc, pr, pc)
+			if err != nil {
+				return nil, err
+			}
+			part[v] = p
+		} else {
+			// Gray codes overflow non-power-of-two grids; fall back to the
+			// plain cyclic embedding, which preserves the fine-grained
+			// scattering property.
+			part[v] = r*pc + cc
+		}
+	}
+	return part, nil
+}

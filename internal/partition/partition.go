@@ -1,0 +1,137 @@
+// Package partition implements the static graph partitioners the thesis
+// plugs into the iC2mpi platform:
+//
+//   - Multilevel: a from-scratch multilevel k-way partitioner in the style
+//     of Metis [KK98] (heavy-edge matching coarsening, greedy graph-growing
+//     initial partition, boundary FM refinement).
+//   - PaGrid: a grid-aware mapper in the style of PaGrid [WA04, HAB06] that
+//     consumes a weighted processor network graph and an Rref
+//     communication/computation ratio and minimizes estimated execution
+//     time rather than raw edge-cut.
+//   - RowBand, ColumnBand, RectBand: geometric band partitioners over the
+//     planar coordinates of mesh graphs.
+//   - BFGrayCode: the fine-grained gray-code mesh-to-hypercube embedding
+//     the original battlefield simulator hard-coded [DMP98].
+//   - Block, RoundRobin: trivial baselines.
+//
+// All partitioners are deterministic for a fixed seed.
+package partition
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/topology"
+)
+
+// Partitioner maps the vertices of an application graph onto k processors.
+// net describes the processor network; partitioners that ignore the network
+// (like Metis) accept nil.
+type Partitioner interface {
+	// Name identifies the partitioner in reports ("Metis", "PaGrid", ...).
+	Name() string
+	// Partition returns a vertex-to-processor assignment of length
+	// g.NumVertices() with every value in [0, k).
+	Partition(g *graph.Graph, net *topology.Network, k int) ([]int, error)
+}
+
+// Validate checks that part is a legal assignment of g's vertices to k
+// processors. The platform calls this on every plug-in's output before
+// trusting it (failure injection tests rely on this).
+func Validate(g *graph.Graph, part []int, k int) error {
+	if k < 1 {
+		return fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if len(part) != g.NumVertices() {
+		return fmt.Errorf("partition: assignment has %d entries for %d vertices", len(part), g.NumVertices())
+	}
+	for v, p := range part {
+		if p < 0 || p >= k {
+			return fmt.Errorf("partition: vertex %d assigned to processor %d outside [0,%d)", v, p, k)
+		}
+	}
+	return nil
+}
+
+// Quality summarizes a partition for reports and tests.
+type Quality struct {
+	EdgeCut     int
+	PartWeights []int
+	Imbalance   float64 // max part weight * k / total weight; 1.0 is perfect
+}
+
+// Evaluate computes the quality metrics of a partition.
+func Evaluate(g *graph.Graph, part []int, k int) (Quality, error) {
+	if err := Validate(g, part, k); err != nil {
+		return Quality{}, err
+	}
+	cut, err := g.EdgeCut(part)
+	if err != nil {
+		return Quality{}, err
+	}
+	w, err := g.PartWeights(part, k)
+	if err != nil {
+		return Quality{}, err
+	}
+	bal, err := g.Imbalance(part, k)
+	if err != nil {
+		return Quality{}, err
+	}
+	return Quality{EdgeCut: cut, PartWeights: w, Imbalance: bal}, nil
+}
+
+// Block assigns contiguous runs of vertex IDs to processors: vertex v goes
+// to processor v*k/n. The simplest static decomposition, used as a baseline
+// and as the fallback initial partition.
+type Block struct{}
+
+// Name implements Partitioner.
+func (Block) Name() string { return "Block" }
+
+// Partition implements Partitioner.
+func (Block) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: Block needs k >= 1, got %d", k)
+	}
+	n := g.NumVertices()
+	part := make([]int, n)
+	for v := range part {
+		part[v] = v * k / n
+	}
+	return part, nil
+}
+
+// RoundRobin deals vertices cyclically: vertex v goes to processor v mod k.
+// Maximizes edge-cut on locality-rich graphs; a deliberately bad baseline
+// that stresses the communication path.
+type RoundRobin struct{}
+
+// Name implements Partitioner.
+func (RoundRobin) Name() string { return "RoundRobin" }
+
+// Partition implements Partitioner.
+func (RoundRobin) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: RoundRobin needs k >= 1, got %d", k)
+	}
+	part := make([]int, g.NumVertices())
+	for v := range part {
+		part[v] = v % k
+	}
+	return part, nil
+}
+
+// Single assigns everything to processor 0; the k=1 degenerate case made
+// explicit for tests.
+type Single struct{}
+
+// Name implements Partitioner.
+func (Single) Name() string { return "Single" }
+
+// Partition implements Partitioner.
+func (Single) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k != 1 {
+		return nil, fmt.Errorf("partition: Single only supports k=1, got %d", k)
+	}
+	return make([]int, g.NumVertices()), nil
+}

@@ -1,0 +1,93 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/topology"
+)
+
+// RCB is recursive coordinate bisection, the classic geometric partitioner
+// (and one of Zoltan's core methods — the related system the thesis
+// compares against in Section 6.1). The vertex set is recursively split
+// in half along the coordinate axis with the larger extent, giving
+// near-perfectly balanced, compact parts for any k (not just grid-shaped
+// ones like RectBand). Requires planar coordinates.
+type RCB struct{}
+
+// Name implements Partitioner.
+func (RCB) Name() string { return "RCB" }
+
+// Partition implements Partitioner.
+func (RCB) Partition(g *graph.Graph, _ *topology.Network, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: RCB needs k >= 1, got %d", k)
+	}
+	if err := requireCoords(g, "RCB"); err != nil {
+		return nil, err
+	}
+	part := make([]int, g.NumVertices())
+	verts := make([]int, g.NumVertices())
+	for v := range verts {
+		verts[v] = v
+	}
+	rcbSplit(g, verts, 0, k, part)
+	return part, nil
+}
+
+// rcbSplit assigns parts [base, base+k) to the given vertices.
+func rcbSplit(g *graph.Graph, verts []int, base, k int, part []int) {
+	if k == 1 {
+		for _, v := range verts {
+			part[v] = base
+		}
+		return
+	}
+	// Split counts proportionally so any k works: left gets ceil(k/2)
+	// parts and the matching share of vertices.
+	kl := (k + 1) / 2
+	kr := k - kl
+	nl := len(verts) * kl / k
+
+	// Choose the axis with the larger spread.
+	minR, maxR := 1<<30, -(1 << 30)
+	minC, maxC := 1<<30, -(1 << 30)
+	for _, v := range verts {
+		c := g.Coords[v]
+		if c.Row < minR {
+			minR = c.Row
+		}
+		if c.Row > maxR {
+			maxR = c.Row
+		}
+		if c.Col < minC {
+			minC = c.Col
+		}
+		if c.Col > maxC {
+			maxC = c.Col
+		}
+	}
+	byRow := maxR-minR >= maxC-minC
+	sort.Slice(verts, func(a, b int) bool {
+		ca, cb := g.Coords[verts[a]], g.Coords[verts[b]]
+		if byRow {
+			if ca.Row != cb.Row {
+				return ca.Row < cb.Row
+			}
+			if ca.Col != cb.Col {
+				return ca.Col < cb.Col
+			}
+		} else {
+			if ca.Col != cb.Col {
+				return ca.Col < cb.Col
+			}
+			if ca.Row != cb.Row {
+				return ca.Row < cb.Row
+			}
+		}
+		return verts[a] < verts[b]
+	})
+	rcbSplit(g, verts[:nl], base, kl, part)
+	rcbSplit(g, verts[nl:], base+kl, kr, part)
+}

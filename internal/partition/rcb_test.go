@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ic2mpi/internal/graph"
+)
+
+func TestRCBValidAndBalanced(t *testing.T) {
+	g := hex(t, 8, 8)
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
+		part, err := RCB{}.Partition(g, nil, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := Validate(g, part, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		q, err := Evaluate(g, part, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, max := g.NumVertices(), 0
+		for _, w := range q.PartWeights {
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("k=%d: RCB weights spread %v", k, q.PartWeights)
+		}
+	}
+}
+
+func TestRCBRequiresCoords(t *testing.T) {
+	g := rnd(t, 10, 0.3, 1)
+	if _, err := (RCB{}).Partition(g, nil, 2); err == nil {
+		t.Fatal("RCB accepted coordinate-free graph")
+	}
+	if _, err := (RCB{}).Partition(hex(t, 2, 2), nil, 0); err == nil {
+		t.Fatal("RCB accepted k=0")
+	}
+}
+
+func TestRCBPartsAreCompact(t *testing.T) {
+	// On a square mesh RCB cuts must be far smaller than round-robin's.
+	g := hex(t, 16, 16)
+	const k = 8
+	rcb, err := RCB{}.Partition(g, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobin{}.Partition(g, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcbQ, _ := Evaluate(g, rcb, k)
+	rrQ, _ := Evaluate(g, rr, k)
+	if rcbQ.EdgeCut*3 > rrQ.EdgeCut {
+		t.Fatalf("RCB cut %d vs round-robin %d: not compact", rcbQ.EdgeCut, rrQ.EdgeCut)
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	g := hex(t, 8, 12)
+	a, err := RCB{}.Partition(g, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RCB{}.Partition(g, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic at %d", v)
+		}
+	}
+}
+
+// Property: RCB over arbitrary mesh shapes and k gives total, in-range,
+// near-perfectly balanced assignments.
+func TestQuickRCBBalance(t *testing.T) {
+	f := func(rRaw, cRaw, kRaw uint8) bool {
+		rows := int(rRaw%12) + 2
+		cols := int(cRaw%12) + 2
+		k := int(kRaw%9) + 1
+		g, err := graph.HexGrid(rows, cols)
+		if err != nil {
+			return false
+		}
+		part, err := RCB{}.Partition(g, nil, k)
+		if err != nil {
+			return false
+		}
+		if Validate(g, part, k) != nil {
+			return false
+		}
+		counts := make([]int, k)
+		for _, p := range part {
+			counts[p]++
+		}
+		min, max := g.NumVertices(), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package platform
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/graph"
+)
+
+// HashTable is a faithful reimplementation of the thesis' node-data index:
+// "Hash tables are implemented as an array of pointers to sorted linked
+// lists which contain the locations for node data. A modulo hash function
+// is applied on the node global ID (key) to obtain the location for node
+// data." It provides amortized O(1) access to own and shadow node data
+// during computation and during shadow updates after communication.
+//
+// The table stores *entry pointers so that updating an entry through the
+// table is visible to every list that references it, exactly as the C
+// original shares node_data pointers between the data node list, the own
+// node lists and the hash buckets.
+type HashTable struct {
+	buckets []*hashNode
+	size    int
+}
+
+// hashNode is one chain link (struct hash_node).
+type hashNode struct {
+	id   graph.NodeID
+	data *entry
+	next *hashNode
+}
+
+// entry is one data-node-list element (struct node_data): the current data
+// and the most recent data, which must be kept separate because "the old
+// data might still be required for the computation purposes of the
+// neighboring nodes".
+type entry struct {
+	id         graph.NodeID
+	data       NodeData
+	mostRecent NodeData
+}
+
+// HashEntry is the exported name of a data-node entry, so external callers
+// (tools, benchmarks) can exercise the HashTable directly.
+type HashEntry = entry
+
+// NewHashEntry builds an entry holding data for node id.
+func NewHashEntry(id graph.NodeID, data NodeData) *HashEntry {
+	return &entry{id: id, data: data, mostRecent: data}
+}
+
+// ID returns the entry's global node ID.
+func (e *entry) ID() graph.NodeID { return e.id }
+
+// Data returns the entry's current node data.
+func (e *entry) Data() NodeData { return e.data }
+
+// NewHashTable returns a table with the given bucket count. The thesis
+// uses HASH_TABLE_LENGTH = 10 regardless of graph size; callers here size
+// the table to the expected entry count but the chaining behaviour is
+// identical.
+func NewHashTable(buckets int) (*HashTable, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("platform: hash table needs >= 1 bucket, got %d", buckets)
+	}
+	return &HashTable{buckets: make([]*hashNode, buckets)}, nil
+}
+
+// slot is the modulo hash function. The thesis computes pow(3, globalID)
+// mod HASH_TABLE_LENGTH; a multiplicative mix keeps the same modulo-chain
+// structure without the float64 overflow the C code suffers for large IDs.
+func (h *HashTable) slot(id graph.NodeID) int {
+	x := uint64(id) * 2654435761 // Knuth multiplicative hash
+	return int(x % uint64(len(h.buckets)))
+}
+
+// Insert adds an entry for id. Inserting an id that is already present is
+// an error — the thesis carefully guards against double-inserting shadow
+// nodes shared by several peripheral nodes (InsertShadowsIntoHashTable's
+// insert_flag), and this implementation turns that guard into an invariant.
+func (h *HashTable) Insert(e *entry) error {
+	if e == nil {
+		return fmt.Errorf("platform: inserting nil entry")
+	}
+	s := h.slot(e.id)
+	// Keep chains sorted by id ("sorted linked lists"), insert in place.
+	var prev *hashNode
+	cur := h.buckets[s]
+	for cur != nil && cur.id < e.id {
+		prev, cur = cur, cur.next
+	}
+	if cur != nil && cur.id == e.id {
+		return fmt.Errorf("platform: node %d already in hash table", e.id)
+	}
+	n := &hashNode{id: e.id, data: e, next: cur}
+	if prev == nil {
+		h.buckets[s] = n
+	} else {
+		prev.next = n
+	}
+	h.size++
+	return nil
+}
+
+// Lookup returns the entry for id, or nil when absent.
+func (h *HashTable) Lookup(id graph.NodeID) *entry {
+	for cur := h.buckets[h.slot(id)]; cur != nil && cur.id <= id; cur = cur.next {
+		if cur.id == id {
+			return cur.data
+		}
+	}
+	return nil
+}
+
+// Remove deletes the entry for id and reports whether it was present.
+func (h *HashTable) Remove(id graph.NodeID) bool {
+	s := h.slot(id)
+	var prev *hashNode
+	for cur := h.buckets[s]; cur != nil; prev, cur = cur, cur.next {
+		if cur.id == id {
+			if prev == nil {
+				h.buckets[s] = cur.next
+			} else {
+				prev.next = cur.next
+			}
+			h.size--
+			return true
+		}
+		if cur.id > id {
+			return false
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored entries.
+func (h *HashTable) Len() int { return h.size }
+
+// ForEach visits every entry in bucket order then chain (id) order.
+func (h *HashTable) ForEach(fn func(*entry)) {
+	for _, b := range h.buckets {
+		for cur := b; cur != nil; cur = cur.next {
+			fn(cur.data)
+		}
+	}
+}

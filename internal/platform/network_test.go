@@ -1,0 +1,109 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"ic2mpi/internal/topology"
+)
+
+// Tests for the processor-network plug-in (Config.Network): heterogeneous
+// speeds slow computation, link costs slow communication, and results stay
+// correct either way.
+
+func TestNetworkSpeedSlowsComputation(t *testing.T) {
+	g := hexGrid(t, 4, 8)
+	base := baseConfig(g, 2)
+
+	uniform, err := topology.Uniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := topology.Uniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Speed[1] = 4.0 // processor 1 runs 4x slower
+
+	base.Network = uniform
+	fast := assertMatchesSequential(t, base)
+
+	base.Network = slow
+	slowed := assertMatchesSequential(t, base)
+
+	if slowed.Elapsed <= fast.Elapsed {
+		t.Fatalf("heterogeneous run %.4f not slower than homogeneous %.4f", slowed.Elapsed, fast.Elapsed)
+	}
+	// The slow processor's compute phase must be larger than the fast
+	// one's (they own equal halves).
+	if slowed.PhaseTimes[PhaseCompute][1] <= slowed.PhaseTimes[PhaseCompute][0]*2 {
+		t.Fatalf("speed 4.0 processor compute %.4f vs %.4f: scaling not applied",
+			slowed.PhaseTimes[PhaseCompute][1], slowed.PhaseTimes[PhaseCompute][0])
+	}
+}
+
+func TestNetworkLinkCostSlowsCommunication(t *testing.T) {
+	g := hexGrid(t, 4, 8)
+	base := baseConfig(g, 4)
+
+	cheap, err := topology.Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Network = cheap
+	near := assertMatchesSequential(t, base)
+
+	expensive, err := topology.Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range expensive.LinkCost {
+		for j := range expensive.LinkCost[i] {
+			if i != j {
+				expensive.LinkCost[i][j] = 20
+			}
+		}
+	}
+	base.Network = expensive
+	far := assertMatchesSequential(t, base)
+
+	if far.Elapsed <= near.Elapsed {
+		t.Fatalf("20x links %.4f not slower than 1x links %.4f", far.Elapsed, near.Elapsed)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	g := hexGrid(t, 2, 2)
+	cfg := baseConfig(g, 2)
+	small, err := topology.Uniform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = small
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "network") {
+		t.Fatalf("undersized network accepted: %v", err)
+	}
+	bad, err := topology.Uniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Speed[0] = -1
+	cfg.Network = bad
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+func TestNetworkHypercubeMatchesSequential(t *testing.T) {
+	g := hexGrid(t, 8, 8)
+	cfg := baseConfig(g, 8)
+	net, err := topology.Hypercube(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = net
+	cfg.Balancer = thresholdBalancer{}
+	cfg.Iterations = 12
+	cfg.BalanceEvery = 4
+	assertMatchesSequential(t, cfg)
+}

@@ -1,0 +1,144 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
+)
+
+// Run executes the platform's full flow of control (Fig. 6): graph
+// partitioner output in, initialization, then the iteration loop of
+// computation, communication and periodic load balancing, and finally a
+// gather of results. It blocks until every virtual processor finishes and
+// returns the aggregated Result.
+func Run(cfg Config) (*Result, error) {
+	c, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		FinalPartition: append([]int(nil), c.InitialPartition...),
+		Stats:          make([]mpi.Stats, c.Procs),
+	}
+	for ph := range res.PhaseTimes {
+		res.PhaseTimes[ph] = make([]float64, c.Procs)
+	}
+	var mu sync.Mutex
+	elapsed := make([]float64, c.Procs)
+
+	opts := mpi.Options{Procs: c.Procs, Cost: c.Cost, Mode: c.Mode}
+	if c.Network != nil {
+		net := c.Network
+		opts.LinkScale = func(src, dst int) float64 { return net.LinkCost[src][dst] }
+	}
+	runErr := mpi.Run(opts, func(comm *mpi.Comm) error {
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		start := comm.Wtime()
+		st, err := newRankState(c, comm)
+		if err != nil {
+			return err
+		}
+		migrated := 0
+		for iter := 1; iter <= c.Iterations; iter++ {
+			computeBefore := st.phase[PhaseCompute]
+			for sub := 0; sub < c.SubPhases; sub++ {
+				if err := st.computeAndCommunicate(iter, sub); err != nil {
+					return err
+				}
+			}
+			st.workTime = st.phase[PhaseCompute] - computeBefore
+			if c.Balancer != nil && iter%c.BalanceEvery == 0 && iter < c.Iterations {
+				n, err := st.loadBalance()
+				if err != nil {
+					return err
+				}
+				migrated += n
+			}
+			if c.CheckInvariants {
+				if err := st.checkInvariants(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		end := comm.Wtime()
+
+		var final []NodeData
+		if !c.SkipFinalGather {
+			final, err = st.gatherFinalData()
+			if err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		elapsed[st.me] = end - start
+		for ph := 0; ph < NumPhases; ph++ {
+			res.PhaseTimes[ph][st.me] = st.phase[ph]
+		}
+		res.Stats[st.me] = comm.Stats()
+		copy(res.FinalPartition, st.owner)
+		if st.me == 0 {
+			res.FinalData = final
+			res.Migrations = migrated
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	for _, t := range elapsed {
+		if t > res.Elapsed {
+			res.Elapsed = t
+		}
+	}
+	return res, nil
+}
+
+// RunSequential executes the same iterative computation without the
+// platform: a reference single-address-space Jacobi-style loop used by
+// integration tests to verify that distributed execution (with any
+// partition, with or without task migration) computes exactly the same
+// node data.
+func RunSequential(cfg Config) ([]NodeData, error) {
+	c, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := c.Graph.NumVertices()
+	data := make([]NodeData, n)
+	next := make([]NodeData, n)
+	for v := 0; v < n; v++ {
+		data[v] = c.InitData(graph.NodeID(v))
+		if data[v] == nil {
+			return nil, fmt.Errorf("platform: InitData returned nil for node %d", v)
+		}
+	}
+	for iter := 1; iter <= c.Iterations; iter++ {
+		for sub := 0; sub < c.SubPhases; sub++ {
+			for v := 0; v < n; v++ {
+				id := graph.NodeID(v)
+				nbrs := make([]Neighbor, len(c.Graph.Adj[v]))
+				for i, u := range c.Graph.Adj[v] {
+					nbrs[i] = Neighbor{ID: u, Data: data[u]}
+				}
+				out, cost := c.Node(id, iter, sub, data[v], nbrs)
+				if out == nil {
+					return nil, fmt.Errorf("platform: node function returned nil for node %d", v)
+				}
+				if cost < 0 {
+					return nil, fmt.Errorf("platform: node function returned negative cost for node %d", v)
+				}
+				next[v] = out
+			}
+			data, next = next, data
+		}
+	}
+	return data, nil
+}

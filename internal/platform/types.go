@@ -1,0 +1,331 @@
+// Package platform implements the iC2mpi platform core: the three-phase
+// architecture of Section 3/4 of the thesis.
+//
+//   - Initialization: a static partitioner's node-to-processor mapping is
+//     expanded into per-processor internal and peripheral node lists, a
+//     data store holding own and shadow node data, and a hash table index
+//     (Fig. 7).
+//   - Computation & communication: per iteration, the user's node function
+//     is invoked over internal then peripheral nodes with a list of the
+//     node's data followed by its neighbors' data; updated peripheral data
+//     is packed into per-neighbor communication buffers and exchanged with
+//     nonblocking sends (Fig. 8), optionally overlapping internal-node
+//     computation with communication (Fig. 8a).
+//   - Load balancing & task migration: a pluggable balancer periodically
+//     inspects a weighted processor graph and produces busy/idle pairs;
+//     the platform migrates one task per pair, updating node lists, hash
+//     tables and shadow bookkeeping incrementally (Section 4.3).
+//
+// The user plugs in exactly what the thesis describes: the application
+// program graph, the node data structure, and the node computation
+// function.
+package platform
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
+	"ic2mpi/internal/topology"
+	"ic2mpi/internal/vtime"
+)
+
+// NodeData is the user-supplied per-node state (the thesis' node_data
+// plug-in). Implementations must be value-like: CloneData returns an
+// independent copy (used when data crosses processor boundaries), and
+// SizeBytes reports the serialized size charged to the communication cost
+// model.
+type NodeData interface {
+	CloneData() NodeData
+	SizeBytes() int
+}
+
+// IntData is the simple integer node data used by the thesis' generic
+// graph topologies (struct node_data { int data; ... }).
+type IntData int64
+
+// CloneData implements NodeData.
+func (d IntData) CloneData() NodeData { return d }
+
+// SizeBytes implements NodeData.
+func (d IntData) SizeBytes() int { return 8 }
+
+// Neighbor pairs a neighbor's global node ID with that neighbor's data
+// from the previous iteration. The slice passed to NodeFunc plays the role
+// of the thesis' linked list "with the current node's data as the head
+// followed by the data of its neighbors".
+type Neighbor struct {
+	ID   graph.NodeID
+	Data NodeData
+}
+
+// NodeFunc is the application node computation function (the thesis'
+// SimulatorFunction plug-in, invoked through a function pointer by the
+// platform's Compute Over Nodes routine). It receives the node's own data
+// and its neighbors' previous-iteration data and returns the node's new
+// data plus the virtual compute cost in seconds (the thesis injects grain
+// with dummy loops; here the grain is returned so the virtual clock can
+// charge it — in RealClock mode the platform burns the time instead).
+//
+// iter counts iterations from 1 as in the thesis' main loop; sub is the
+// sub-phase index within an iteration (always 0 unless Config.SubPhases >
+// 1, which the battlefield simulation uses because "the computation and
+// communication function sequence is called more than once").
+type NodeFunc func(id graph.NodeID, iter, sub int, self NodeData, neighbors []Neighbor) (NodeData, float64)
+
+// Pair is one busy/idle processor pair selected by the load balancer.
+type Pair struct {
+	Busy, Idle int
+}
+
+// ProcGraph is the weighted processor network graph handed to the load
+// balancer: "the execution time of the processors for a specific number of
+// iterations represents the weight on the nodes and the weight of the edge
+// connecting two processors is the amount of communication between the
+// two, estimated by the length of the communication buffers".
+type ProcGraph struct {
+	// Times[p] is processor p's computation time since the last balancing.
+	Times []float64
+	// Comm[p][q] is the combined shadow-buffer length between p and q
+	// (symmetric, zero diagonal).
+	Comm [][]int
+}
+
+// Balancer decides which processors should shed work. It is the thesis'
+// third-party dynamic load balancer plug-in point; the platform executes
+// the actual task migration.
+type Balancer interface {
+	Name() string
+	// Plan returns busy->idle pairs. An empty plan means no substantial
+	// imbalance.
+	Plan(pg ProcGraph) []Pair
+}
+
+// Phase identifies one of the six platform phases whose overheads Figures
+// 21 and 22 break down.
+type Phase int
+
+const (
+	// PhaseInit covers setting up graph connectivity, node lists, data
+	// lists and hash tables.
+	PhaseInit Phase = iota
+	// PhaseComputeOverhead covers forming node+neighbor lists for the node
+	// function and updating data lists after computation.
+	PhaseComputeOverhead
+	// PhaseCompute is the actual node computation (the grain).
+	PhaseCompute
+	// PhaseCommOverhead covers packing and unpacking communication buffers
+	// and updating the data lists from received shadows.
+	PhaseCommOverhead
+	// PhaseCommunicate is the send/receive of shadow node information.
+	PhaseCommunicate
+	// PhaseLoadBalance covers gathering imbalance statistics and task
+	// migration.
+	PhaseLoadBalance
+
+	// NumPhases is the number of instrumented phases.
+	NumPhases = int(PhaseLoadBalance) + 1
+)
+
+// String implements fmt.Stringer with the labels of Figures 21-22.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "Initialization"
+	case PhaseComputeOverhead:
+		return "Computation Overhead"
+	case PhaseCompute:
+		return "Compute"
+	case PhaseCommOverhead:
+		return "Communication Overhead"
+	case PhaseCommunicate:
+		return "Communicate"
+	case PhaseLoadBalance:
+		return "Load Balancing & Task Migration"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// OverheadModel prices the platform's bookkeeping work for the virtual
+// clock; these costs are what Figures 21-22 measure. All values are in
+// seconds. Zero values are legal (free bookkeeping).
+type OverheadModel struct {
+	// InitPerEntry is charged during initialization per node-list, data
+	// node and hash-table entry created.
+	InitPerEntry float64
+	// ListPerNeighbor is charged per element when forming the node +
+	// neighbors list handed to the node function.
+	ListPerNeighbor float64
+	// UpdatePerNode is charged per own node when writing back
+	// most_recent_data after computation.
+	UpdatePerNode float64
+	// PackPerNode is charged per (node, destination) pair when packing
+	// updated peripheral data into communication buffers.
+	PackPerNode float64
+	// UnpackPerNode is charged per received shadow node when updating the
+	// data lists after communication.
+	UnpackPerNode float64
+}
+
+// DefaultOverheads returns bookkeeping costs calibrated so the phase
+// breakdown of a fine-grained 64-node run matches the shape of Figures
+// 21-22: communication overhead (packing and, above all, the linear
+// data-node-list scans the thesis performs per received shadow update) is
+// the dominant platform overhead, and compute/computation overhead shrink
+// with the processor count.
+func DefaultOverheads() OverheadModel {
+	return OverheadModel{
+		InitPerEntry:    4e-6,
+		ListPerNeighbor: 1.5e-6,
+		UpdatePerNode:   1e-6,
+		PackPerNode:     45e-6,
+		UnpackPerNode:   55e-6,
+	}
+}
+
+// Config describes one platform run. Graph, InitialPartition, InitData and
+// Node are the user plug-ins; everything else tunes the platform.
+type Config struct {
+	// Graph is the application program graph.
+	Graph *graph.Graph
+	// Procs is the number of (virtual) processors.
+	Procs int
+	// InitialPartition maps every node to a processor in [0, Procs); the
+	// output of a static graph partitioner.
+	InitialPartition []int
+	// InitData returns node v's initial data (the thesis initializes
+	// data = globalID in InitializeGlobalDataList).
+	InitData func(graph.NodeID) NodeData
+	// Node is the application node computation function.
+	Node NodeFunc
+	// Iterations is the number of outer iterations (time steps).
+	Iterations int
+	// SubPhases is the number of compute+communicate rounds per iteration
+	// (default 1; the battlefield simulation uses 2).
+	SubPhases int
+	// Overlap selects the Fig. 8a variant: peripheral nodes first, then
+	// internal-node computation overlapped with shadow communication.
+	Overlap bool
+	// Balancer enables dynamic load balancing when non-nil.
+	Balancer Balancer
+	// BalanceEvery is the load-balancing period in iterations (default 10,
+	// the thesis' setting).
+	BalanceEvery int
+	// DisableMigrationGuard turns off the overshoot/benefit filter applied
+	// to planned migrations (see loadBalance). Tests that script exact
+	// migration sequences disable the guard; production runs keep it.
+	DisableMigrationGuard bool
+	// BalanceRounds bounds the plan+migrate rounds per balancing
+	// invocation. 1 (the default) is the thesis' protocol — at most one
+	// task per busy/idle pair per invocation; larger values enable the
+	// Section 7 extension where an overloaded processor sheds several
+	// tasks in one invocation, re-planning against estimated
+	// post-migration times.
+	BalanceRounds int
+	// Cost is the communication cost model (default vtime.Origin2000()).
+	Cost vtime.CostModel
+	// Network, when non-nil, is the processor network graph the execution
+	// runs on: message wire cost scales with LinkCost[src][dst] (hop count
+	// on a hypercube) and node computation scales with the owning
+	// processor's Speed. This is the paper's processor-network-graph
+	// plug-in point; a nil Network is a uniform machine.
+	Network *topology.Network
+	// Overheads prices platform bookkeeping (default DefaultOverheads()).
+	Overheads OverheadModel
+	// Mode selects virtual (default) or real clocks.
+	Mode mpi.ClockMode
+	// CollectData controls whether Run gathers final node data to the
+	// caller (default true; large sweeps disable it to save memory).
+	SkipFinalGather bool
+	// CheckInvariants makes every processor validate its node lists, hash
+	// table and shadow bookkeeping after every iteration and after every
+	// migration. Meant for tests; adds O(nodes) work per iteration but no
+	// virtual time.
+	CheckInvariants bool
+}
+
+// normalize fills defaults and validates the configuration.
+func (c *Config) normalize() (*Config, error) {
+	if c.Graph == nil {
+		return nil, fmt.Errorf("platform: Config.Graph is required")
+	}
+	if err := c.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("platform: invalid graph: %w", err)
+	}
+	if c.Procs < 1 {
+		return nil, fmt.Errorf("platform: Procs must be >= 1, got %d", c.Procs)
+	}
+	if c.Node == nil {
+		return nil, fmt.Errorf("platform: Config.Node is required")
+	}
+	if c.InitData == nil {
+		return nil, fmt.Errorf("platform: Config.InitData is required")
+	}
+	if c.Iterations < 0 {
+		return nil, fmt.Errorf("platform: Iterations must be >= 0, got %d", c.Iterations)
+	}
+	if len(c.InitialPartition) != c.Graph.NumVertices() {
+		return nil, fmt.Errorf("platform: InitialPartition has %d entries for %d nodes",
+			len(c.InitialPartition), c.Graph.NumVertices())
+	}
+	for v, p := range c.InitialPartition {
+		if p < 0 || p >= c.Procs {
+			return nil, fmt.Errorf("platform: node %d assigned to processor %d outside [0,%d)", v, p, c.Procs)
+		}
+	}
+	out := *c
+	if out.SubPhases <= 0 {
+		out.SubPhases = 1
+	}
+	if out.BalanceEvery <= 0 {
+		out.BalanceEvery = 10
+	}
+	if out.Cost == (vtime.CostModel{}) && out.Mode == mpi.VirtualClock {
+		out.Cost = vtime.Origin2000()
+	}
+	if out.Overheads == (OverheadModel{}) {
+		out.Overheads = DefaultOverheads()
+	}
+	if out.Network != nil {
+		if err := out.Network.Validate(); err != nil {
+			return nil, err
+		}
+		if out.Network.Procs() < out.Procs {
+			return nil, fmt.Errorf("platform: network has %d processors, need %d", out.Network.Procs(), out.Procs)
+		}
+	}
+	return &out, nil
+}
+
+// Result reports one platform run.
+type Result struct {
+	// Elapsed is the end-to-end time: the maximum virtual completion time
+	// across processors (or wall time in RealClock mode).
+	Elapsed float64
+	// PhaseTimes[phase][proc] breaks Elapsed into the six platform phases
+	// per processor.
+	PhaseTimes [NumPhases][]float64
+	// FinalData holds every node's data after the last iteration (nil when
+	// Config.SkipFinalGather).
+	FinalData []NodeData
+	// FinalPartition is the node-to-processor map after dynamic load
+	// balancing (equal to the initial partition for static runs).
+	FinalPartition []int
+	// Migrations counts executed task migrations.
+	Migrations int
+	// Stats aggregates per-processor message counters.
+	Stats []mpi.Stats
+}
+
+// MaxPhase returns the maximum per-processor time of one phase, the value
+// Figures 21-22 plot.
+func (r *Result) MaxPhase(p Phase) float64 {
+	max := 0.0
+	for _, t := range r.PhaseTimes[p] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}

@@ -1,0 +1,209 @@
+// Package topology models processor network graphs: the hypercube of the
+// paper's SGI Origin 2000, regular meshes, and heterogeneous grids. PaGrid
+// consumes these networks (with per-processor speeds and per-link costs)
+// when mapping application graphs; the BF partitioner uses the gray-code
+// mesh-to-hypercube embedding of [DMP98].
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Network is a weighted processor graph: Procs processors with relative
+// Speed (execution-time multiplier; 1.0 = reference processor) and a
+// pairwise LinkCost matrix (communication cost multiplier per unit of
+// traffic; 0 on the diagonal). The thesis' PaGrid input "grid format"
+// carries exactly this information.
+type Network struct {
+	// Name labels the network in reports.
+	Name string
+	// Speed[p] is processor p's relative execution-time multiplier: a
+	// processor with Speed 2 takes twice as long per unit of work.
+	Speed []float64
+	// LinkCost[p][q] is the relative cost of sending one unit of data from
+	// p to q; symmetric, zero diagonal. For a hypercube this is the
+	// Hamming distance between p and q (store-and-forward hops).
+	LinkCost [][]float64
+}
+
+// Procs returns the number of processors.
+func (n *Network) Procs() int { return len(n.Speed) }
+
+// Validate checks the structural invariants of the network.
+func (n *Network) Validate() error {
+	p := len(n.Speed)
+	if p == 0 {
+		return fmt.Errorf("topology: empty network")
+	}
+	if len(n.LinkCost) != p {
+		return fmt.Errorf("topology: LinkCost has %d rows for %d procs", len(n.LinkCost), p)
+	}
+	for i := range n.LinkCost {
+		if len(n.LinkCost[i]) != p {
+			return fmt.Errorf("topology: LinkCost row %d has %d cols for %d procs", i, len(n.LinkCost[i]), p)
+		}
+		if n.LinkCost[i][i] != 0 {
+			return fmt.Errorf("topology: LinkCost[%d][%d] = %g, want 0", i, i, n.LinkCost[i][i])
+		}
+		for j := range n.LinkCost[i] {
+			if n.LinkCost[i][j] < 0 {
+				return fmt.Errorf("topology: negative link cost at (%d,%d)", i, j)
+			}
+			if n.LinkCost[i][j] != n.LinkCost[j][i] {
+				return fmt.Errorf("topology: asymmetric link cost at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i, s := range n.Speed {
+		if s <= 0 {
+			return fmt.Errorf("topology: processor %d has non-positive speed %g", i, s)
+		}
+	}
+	return nil
+}
+
+// Hypercube returns a homogeneous hypercube network over procs processors.
+// procs need not be a power of two: link cost between p and q is the
+// Hamming distance of their ids, which is the routing distance on the
+// enclosing hypercube (the Origin 2000's interconnect is hypercube-based).
+func Hypercube(procs int) (*Network, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("topology: Hypercube needs procs >= 1, got %d", procs)
+	}
+	n := &Network{
+		Name:     fmt.Sprintf("%d-processor hypercube", procs),
+		Speed:    make([]float64, procs),
+		LinkCost: make([][]float64, procs),
+	}
+	for p := 0; p < procs; p++ {
+		n.Speed[p] = 1
+		n.LinkCost[p] = make([]float64, procs)
+		for q := 0; q < procs; q++ {
+			if p != q {
+				n.LinkCost[p][q] = float64(bits.OnesCount(uint(p ^ q)))
+			}
+		}
+	}
+	return n, nil
+}
+
+// Uniform returns a fully connected homogeneous network with unit link
+// costs — what Metis implicitly assumes ("Metis does not use processor
+// network graph").
+func Uniform(procs int) (*Network, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("topology: Uniform needs procs >= 1, got %d", procs)
+	}
+	n := &Network{
+		Name:     fmt.Sprintf("%d-processor uniform network", procs),
+		Speed:    make([]float64, procs),
+		LinkCost: make([][]float64, procs),
+	}
+	for p := 0; p < procs; p++ {
+		n.Speed[p] = 1
+		n.LinkCost[p] = make([]float64, procs)
+		for q := 0; q < procs; q++ {
+			if p != q {
+				n.LinkCost[p][q] = 1
+			}
+		}
+	}
+	return n, nil
+}
+
+// HeterogeneousGrid returns a two-cluster computational grid of the kind
+// PaGrid targets: the first half of the processors are "fast" (speed 1),
+// the rest run at slowFactor (>1 = slower); intra-cluster links cost 1,
+// inter-cluster links cost wanCost. Used by the ablation experiments that
+// show PaGrid's advantage growing with heterogeneity.
+func HeterogeneousGrid(procs int, slowFactor, wanCost float64) (*Network, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("topology: HeterogeneousGrid needs procs >= 1, got %d", procs)
+	}
+	if slowFactor <= 0 || wanCost < 0 {
+		return nil, fmt.Errorf("topology: bad parameters slowFactor=%g wanCost=%g", slowFactor, wanCost)
+	}
+	n := &Network{
+		Name:     fmt.Sprintf("%d-processor heterogeneous grid", procs),
+		Speed:    make([]float64, procs),
+		LinkCost: make([][]float64, procs),
+	}
+	half := procs / 2
+	for p := 0; p < procs; p++ {
+		if p < half || procs == 1 {
+			n.Speed[p] = 1
+		} else {
+			n.Speed[p] = slowFactor
+		}
+		n.LinkCost[p] = make([]float64, procs)
+	}
+	for p := 0; p < procs; p++ {
+		for q := 0; q < procs; q++ {
+			if p == q {
+				continue
+			}
+			if (p < half) == (q < half) {
+				n.LinkCost[p][q] = 1
+			} else {
+				n.LinkCost[p][q] = wanCost
+			}
+		}
+	}
+	return n, nil
+}
+
+// GrayCode returns the i-th binary reflected Gray code value.
+func GrayCode(i int) int { return i ^ (i >> 1) }
+
+// GrayRank is the inverse of GrayCode: GrayRank(GrayCode(i)) == i.
+func GrayRank(g int) int {
+	r := 0
+	for g != 0 {
+		r ^= g
+		g >>= 1
+	}
+	return r
+}
+
+// MeshToHypercube embeds position (r, c) of an R x C mesh into a hypercube
+// of R*C processors using the classic gray-code row/column embedding: the
+// processor id is GrayCode(r) concatenated with GrayCode(c). Mesh-adjacent
+// cells map to hypercube-adjacent processors when R and C are powers of
+// two. This is the embedding the original battlefield simulator [DMP98]
+// hard-coded, reproduced here as the "BF Partition".
+func MeshToHypercube(r, c, rows, cols int) (int, error) {
+	if rows <= 0 || cols <= 0 || r < 0 || r >= rows || c < 0 || c >= cols {
+		return 0, fmt.Errorf("topology: position (%d,%d) outside %dx%d mesh", r, c, rows, cols)
+	}
+	colBits := bits.Len(uint(cols - 1))
+	if cols == 1 {
+		colBits = 0
+	}
+	return GrayCode(r)<<colBits | GrayCode(c), nil
+}
+
+// Dims returns (rows, cols) with rows*cols == procs, rows and cols as
+// close to square as possible with both powers of two when procs is a
+// power of two. Used to shape processor meshes for the BF and rectangular
+// band partitioners.
+func Dims(procs int) (rows, cols int, err error) {
+	if procs < 1 {
+		return 0, 0, fmt.Errorf("topology: Dims needs procs >= 1, got %d", procs)
+	}
+	if procs&(procs-1) == 0 {
+		// Power of two: split the exponent.
+		e := bits.Len(uint(procs)) - 1
+		rows = 1 << (e / 2)
+		cols = procs / rows
+		return rows, cols, nil
+	}
+	// General case: largest divisor <= sqrt(procs).
+	best := 1
+	for d := 1; d*d <= procs; d++ {
+		if procs%d == 0 {
+			best = d
+		}
+	}
+	return best, procs / best, nil
+}

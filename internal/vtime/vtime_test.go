@@ -1,0 +1,108 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(0.5)
+	if c.Now() != 2.0 {
+		t.Fatalf("clock at %v, want 2.0", c.Now())
+	}
+}
+
+func TestClockAdvanceIgnoresNegative(t *testing.T) {
+	var c Clock
+	c.Advance(1)
+	c.Advance(-5)
+	if c.Now() != 1 {
+		t.Fatalf("negative advance moved clock to %v", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(3)
+	if c.Now() != 3 {
+		t.Fatalf("AdvanceTo(3) -> %v", c.Now())
+	}
+	c.AdvanceTo(1) // must not move backwards
+	if c.Now() != 3 {
+		t.Fatalf("AdvanceTo(1) moved clock back to %v", c.Now())
+	}
+}
+
+func TestClockString(t *testing.T) {
+	var c Clock
+	c.Advance(0.5)
+	if got := c.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: clocks are monotone under any sequence of Advance/AdvanceTo.
+func TestQuickClockMonotone(t *testing.T) {
+	f := func(ops []int16) bool {
+		var c Clock
+		prev := 0.0
+		for _, op := range ops {
+			if op%2 == 0 {
+				c.Advance(float64(op) / 100)
+			} else {
+				c.AdvanceTo(float64(op) / 100)
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrivalTime(t *testing.T) {
+	m := CostModel{Latency: 1e-3, ByteTime: 1e-6, SendOverhead: 1e-4, RecvOverhead: 2e-4}
+	got := m.ArrivalTime(1.0, 1000)
+	want := 1.0 + 1e-4 + 1e-3 + 1e-3
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("ArrivalTime = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Origin2000().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Zero().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := CostModel{ByteTime: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative ByteTime accepted")
+	}
+}
+
+func TestOrigin2000Shape(t *testing.T) {
+	m := Origin2000()
+	if m.Latency <= 0 || m.ByteTime <= 0 || m.SendOverhead <= 0 || m.RecvOverhead <= 0 {
+		t.Fatalf("Origin2000 has non-positive parameters: %+v", m)
+	}
+	// Latency must dominate the per-byte cost for small messages — the
+	// fine-grain scaling plateau depends on it.
+	if m.Latency < 100*m.ByteTime {
+		t.Fatalf("latency %v suspiciously small vs byte time %v", m.Latency, m.ByteTime)
+	}
+}
