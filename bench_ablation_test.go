@@ -40,6 +40,7 @@ func ablationRun(b *testing.B, mutate func(*platform.Config)) {
 		mutate(&cfg)
 	}
 	var virtual float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := platform.Run(cfg)
@@ -90,6 +91,18 @@ func BenchmarkAblationLBDiffusion(b *testing.B) {
 
 func BenchmarkAblationLBStrictRule(b *testing.B) {
 	ablationDynamic(b, 3, 4, &balance.CentralizedHeuristic{StrictAllNeighbors: true})
+}
+
+// Ablation 2b: pooled exchange buffers (Config.ReuseBuffers) vs the C
+// original's allocate-per-round protocol. virtual_s/op must be identical
+// (pooling is a pure host-side optimization; TestExchangeDeterminism
+// enforces this); B/op and allocs/op show the host-side saving.
+func BenchmarkAblationBuffersUnpooled(b *testing.B) {
+	ablationRun(b, func(c *platform.Config) { c.ReuseBuffers = false })
+}
+
+func BenchmarkAblationBuffersPooled(b *testing.B) {
+	ablationRun(b, func(c *platform.Config) { c.ReuseBuffers = true })
 }
 
 // Ablation 3: partitioner choice for the same workload.

@@ -92,6 +92,46 @@ func BenchmarkPlatformIteration(b *testing.B) {
 	}
 }
 
+// benchExchange measures the exchange-heavy steady state: the heat
+// example's 16x16 hex mesh with a cheap grain, so shadow packing,
+// messaging and unpacking dominate each iteration. Allocation counters
+// (-benchmem) are the headline: with ReuseBuffers the per-iteration
+// compute/communicate round reuses pooled send buffers and neighbor
+// lists instead of allocating fresh ones.
+func benchExchange(b *testing.B, procs int, reuse bool) {
+	b.Helper()
+	g, err := ic2mpi.HexGrid(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := ic2mpi.NewMetis(7).Partition(g, nil, procs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ic2mpi.Config{
+		Graph:            g,
+		Procs:            procs,
+		InitialPartition: part,
+		InitData:         workload.InitID,
+		Node:             workload.Averaging(workload.UniformGrain(workload.FineGrain)),
+		Iterations:       50,
+		SkipFinalGather:  true,
+		ReuseBuffers:     reuse,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ic2mpi.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExchangeUnpooled8(b *testing.B)  { benchExchange(b, 8, false) }
+func BenchmarkExchangePooled8(b *testing.B)    { benchExchange(b, 8, true) }
+func BenchmarkExchangeUnpooled16(b *testing.B) { benchExchange(b, 16, false) }
+func BenchmarkExchangePooled16(b *testing.B)   { benchExchange(b, 16, true) }
+
 // BenchmarkMetisPartition measures the multilevel partitioner on the
 // battlefield-sized graph.
 func BenchmarkMetisPartition(b *testing.B) {

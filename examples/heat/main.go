@@ -82,6 +82,10 @@ func main() {
 		InitData:         initData,
 		Node:             node,
 		Iterations:       *iters,
+		// The pooled exchange fast path. The check below verifies this
+		// pooled run against the sequential reference; pooled-vs-unpooled
+		// equivalence is enforced separately by TestExchangeDeterminism.
+		ReuseBuffers: true,
 	}
 	res, err := ic2mpi.Run(cfg)
 	if err != nil {

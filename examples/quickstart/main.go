@@ -55,6 +55,7 @@ func main() {
 			InitData:         func(id ic2mpi.NodeID) ic2mpi.NodeData { return ic2mpi.IntData(int64(id) + 1) },
 			Node:             average,
 			Iterations:       20,
+			ReuseBuffers:     true,
 		})
 		if err != nil {
 			log.Fatal(err)

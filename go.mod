@@ -1,0 +1,3 @@
+module ic2mpi
+
+go 1.24

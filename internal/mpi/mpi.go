@@ -25,6 +25,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ic2mpi/internal/vtime"
@@ -68,8 +69,12 @@ type World struct {
 	boxes     []*mailbox
 	bar       *barrier
 	start     time.Time
-	failMu    sync.Mutex
-	fail      error
+	// failFlag is the lock-free fast path for "has any rank failed":
+	// receive loops poll it on every wakeup, so it must not require
+	// taking failMu (which would nest inside the mailbox lock).
+	failFlag atomic.Bool
+	failMu   sync.Mutex
+	fail     error
 }
 
 // message is one in-flight point-to-point message.
@@ -80,18 +85,42 @@ type message struct {
 	sentAt   float64 // sender virtual clock when Isend returned
 }
 
-// mailbox is the per-rank receive queue. Senders append under mu; receivers
-// scan for the first (src, tag) match.
+// mailbox is the per-rank receive queue. Senders append under mu; the
+// owning rank (the only receiver) scans for the first (src, tag) match.
+// Delivered envelopes return to free, so steady-state traffic recycles a
+// small fixed set of envelopes instead of allocating one per message.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	pending []message
+	pending []*message
+	free    []*message
 }
 
 func newMailbox() *mailbox {
 	b := &mailbox{}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// get returns a recycled envelope (or a fresh one) filled with m. Callers
+// must hold mu.
+func (b *mailbox) get(m message) *message {
+	if n := len(b.free); n > 0 {
+		env := b.free[n-1]
+		b.free = b.free[:n-1]
+		*env = m
+		return env
+	}
+	env := new(message)
+	*env = m
+	return env
+}
+
+// put zeroes env (dropping the payload reference) and returns it to the
+// free list. Callers must hold mu.
+func (b *mailbox) put(env *message) {
+	*env = message{}
+	b.free = append(b.free, env)
 }
 
 // barrier is a generation-counting barrier that also synchronizes virtual
@@ -227,10 +256,11 @@ func Run(opts Options, fn func(c *Comm) error) error {
 
 func (w *World) setFail(err error) {
 	w.failMu.Lock()
-	defer w.failMu.Unlock()
 	if w.fail == nil {
 		w.fail = err
 	}
+	w.failMu.Unlock()
+	w.failFlag.Store(true)
 }
 
 func (w *World) failed() error {
@@ -287,8 +317,12 @@ func (c *Comm) Charge(d float64) {
 // Isend enqueues a message for rank dst without blocking (MPI_Isend with an
 // unbounded system buffer). bytes is the payload size used by the cost
 // model; payload itself is delivered by reference, so callers must not
-// mutate it afterwards (the platform always hands over freshly packed
-// buffers, as the C original does).
+// mutate it until the receiver has consumed it. The platform either hands
+// over freshly packed buffers (as the C original does) or, with pooled
+// exchange buffers, reuses a buffer only once the exchange protocol proves
+// its receipt — see the sendPool comment in internal/platform/state.go for
+// that argument. Anything in this runtime that held payload references
+// past delivery (logging, replay, delayed matching) would break it.
 func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
 	if dst < 0 || dst >= c.world.procs {
 		return fmt.Errorf("mpi: Isend from rank %d to invalid rank %d (size %d)", c.rank, dst, c.world.procs)
@@ -300,8 +334,9 @@ func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
 	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now()}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
-	box.pending = append(box.pending, m)
-	box.cond.Broadcast()
+	box.pending = append(box.pending, box.get(m))
+	// The owning rank is the only receiver, so one wakeup suffices.
+	box.cond.Signal()
 	box.mu.Unlock()
 	c.sent++
 	c.bytesSent += bytes
@@ -327,13 +362,17 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	for {
-		if err := c.world.failed(); err != nil {
+		// Lock-free failure check: taking failMu here would nest inside
+		// box.mu on every wakeup of every blocked receiver.
+		if c.world.failFlag.Load() {
 			box.mu.Unlock()
 			return nil, fmt.Errorf("mpi: rank %d Recv aborted: sibling rank failed", c.rank)
 		}
-		for i, m := range box.pending {
-			if m.src == src && (tag == AnyTag || m.tag == tag) {
+		for i, env := range box.pending {
+			if env.src == src && (tag == AnyTag || env.tag == tag) {
 				box.pending = append(box.pending[:i], box.pending[i+1:]...)
+				m := *env
+				box.put(env)
 				box.mu.Unlock()
 				c.completeRecv(m)
 				return m.payload, nil

@@ -79,17 +79,40 @@ func (s *rankState) roundOverlapped(iter, sub int) error {
 	return s.recvShadows(sub, reqs)
 }
 
-// makeBuffers allocates one send buffer per destination processor, sized
+// makeBuffers returns one send buffer per destination processor, sized
 // from sendCount ("the data structure chosen for the communication buffers
-// gives optimum memory usage").
+// gives optimum memory usage"). Without ReuseBuffers every exchange gets
+// fresh allocations, matching the C original's malloc-per-round; with it
+// the buffers come from the parity-indexed pool and are allocation-free
+// once capacities have warmed up (see the sendPool comment in state.go for
+// why a two-generation gap is sufficient).
 func (s *rankState) makeBuffers() [][]shadowUpdate {
-	buffers := make([][]shadowUpdate, s.cfg.Procs)
+	if !s.cfg.ReuseBuffers {
+		buffers := make([][]shadowUpdate, s.cfg.Procs)
+		for p, n := range s.sendCount {
+			if n > 0 {
+				buffers[p] = make([]shadowUpdate, 0, n)
+			}
+		}
+		return buffers
+	}
+	set := s.sendPool[s.exchanges%2]
+	if set == nil {
+		set = make([][]shadowUpdate, s.cfg.Procs)
+		s.sendPool[s.exchanges%2] = set
+	}
+	s.exchanges++
 	for p, n := range s.sendCount {
-		if n > 0 {
-			buffers[p] = make([]shadowUpdate, 0, n)
+		switch {
+		case n == 0:
+			set[p] = nil
+		case cap(set[p]) < n:
+			set[p] = make([]shadowUpdate, 0, n)
+		default:
+			set[p] = set[p][:0]
 		}
 	}
-	return buffers
+	return set
 }
 
 // computeNode forms the node+neighbors list, invokes the node function,
@@ -103,7 +126,15 @@ func (s *rankState) computeNode(node *ownNode, iter, sub int, buffers [][]shadow
 	}
 	// Computation overhead: form the list of the node and its neighbors.
 	t0 := s.comm.Wtime()
-	neighbors := make([]Neighbor, len(node.neighbors))
+	var neighbors []Neighbor
+	if s.cfg.ReuseBuffers {
+		if cap(s.nbrScratch) < len(node.neighbors) {
+			s.nbrScratch = make([]Neighbor, len(node.neighbors))
+		}
+		neighbors = s.nbrScratch[:len(node.neighbors)]
+	} else {
+		neighbors = make([]Neighbor, len(node.neighbors))
+	}
 	for i, u := range node.neighbors {
 		ne := s.table.Lookup(u)
 		if ne == nil {

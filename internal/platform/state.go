@@ -48,6 +48,20 @@ type rankState struct {
 	// expect exactly one update per such node per exchange.
 	recvCount []int
 
+	// Exchange buffer pool (Config.ReuseBuffers). sendPool holds two
+	// generations of per-destination send buffers; successive exchanges
+	// alternate generations, so a buffer handed to Isend in exchange k is
+	// only truncated and repacked in exchange k+2. That gap is what makes
+	// reuse safe under the runtime's deliver-by-reference contract: shadow
+	// exchange is symmetric (sendCount[p] > 0 iff recvCount[p] > 0), so
+	// receiving p's exchange-(k+1) buffer proves p finished its exchange k
+	// and has already unpacked everything we sent it in exchange k.
+	// nbrScratch is the recycled node+neighbors list handed to the node
+	// function. All three stay nil unless ReuseBuffers is on.
+	sendPool   [2][][]shadowUpdate
+	exchanges  int
+	nbrScratch []Neighbor
+
 	phase [NumPhases]float64
 	// workTime is the compute time of the most recent full iteration — the
 	// node weight of the processor graph. The thesis accumulates time since
