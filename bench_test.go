@@ -16,6 +16,7 @@ import (
 	"ic2mpi"
 	"ic2mpi/internal/battlefield"
 	"ic2mpi/internal/experiments"
+	"ic2mpi/internal/scenario"
 	"ic2mpi/internal/workload"
 )
 
@@ -91,6 +92,30 @@ func BenchmarkPlatformIteration(b *testing.B) {
 		}
 	}
 }
+
+// benchScenario measures one registered scenario end to end through the
+// registry, the same path `cmd/experiments -scenario` takes; the scenario
+// registry is the single source of truth for what each workload is.
+func benchScenario(b *testing.B, name string, procs int) {
+	b.Helper()
+	sc, err := scenario.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Run(scenario.Params{Procs: procs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The application scenarios beyond the paper's evaluation, at the
+// processor count their docs/scenarios.md sections report.
+func BenchmarkScenarioHeat(b *testing.B)        { benchScenario(b, "heat", 8) }
+func BenchmarkScenarioLife(b *testing.B)        { benchScenario(b, "life", 8) }
+func BenchmarkScenarioSSSP(b *testing.B)        { benchScenario(b, "sssp", 8) }
+func BenchmarkScenarioPageRankBSP(b *testing.B) { benchScenario(b, "pagerank-bsp", 8) }
 
 // benchExchange measures the exchange-heavy steady state: the heat
 // example's 16x16 hex mesh with a cheap grain, so shadow packing,

@@ -1,43 +1,107 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation (Section 5) on the simulated cluster.
+// evaluation (Section 5) and runs parameter sweeps over registered
+// scenarios, emitting text, JSON or CSV.
 //
 // Usage:
 //
-//	experiments              # run everything, paper order
-//	experiments -run table3  # one experiment
-//	experiments -list        # list experiment IDs
+//	experiments                      # run every paper experiment, paper order
+//	experiments -run table3,fig12    # selected paper experiments
+//	experiments -list                # list experiment IDs and scenarios
+//	experiments -scenario life       # sweep a scenario over 1..16 processors
+//	experiments -scenario hex64-fine -sweep "procs=1,2,4,8;partitioner=metis,pagrid"
+//	experiments -scenario heat -format json > heat.json
+//
+// The -sweep specification is semicolon-separated axis=value,value pairs
+// over the axes procs, partitioner, exchange (basic|overlap), buffers
+// (pooled|unpooled), balancer (none|centralized|centralized-strict|
+// diffusion) and iters; unspecified axes stay at the scenario's default.
+//
+// All results are deterministic virtual times: the same invocation
+// produces byte-identical output on any host, so JSON sweeps are directly
+// comparable across commits (CI archives one as a workflow artifact).
+// See docs/scenarios.md for a cookbook.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"ic2mpi/internal/experiments"
+	"ic2mpi/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	run := flag.String("run", "", "experiment ID (e.g. table7, fig12); empty runs all")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "paper experiment IDs, comma-separated (e.g. table7,fig12); empty runs all")
+	list := flag.Bool("list", false, "list experiment IDs and registered scenarios, then exit")
+	scen := flag.String("scenario", "", "registered scenario to sweep (see -list)")
+	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
+	format := flag.String("format", "text", "output format: text, json or csv")
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		fmt.Println("paper experiments (-run):")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("\nscenarios (-scenario):")
+		for _, line := range strings.Split(strings.TrimRight(experiments.ScenarioList(), "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
 		return
 	}
-	ids := experiments.IDs()
-	if *run != "" {
-		ids = strings.Split(*run, ",")
-	}
-	for _, id := range ids {
-		rep, err := experiments.Run(strings.TrimSpace(id))
+
+	var reports []experiments.Report
+	switch {
+	case *scen != "":
+		if *run != "" {
+			log.Fatal("-run and -scenario are mutually exclusive")
+		}
+		sc, err := scenario.Get(*scen)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(rep)
+		ax, err := experiments.ParseAxes(*sweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := experiments.RunSweep(sc, ax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rep)
+	case *sweep != "":
+		log.Fatal("-sweep requires -scenario (see -list for scenario names)")
+	default:
+		ids := experiments.IDs()
+		if *run != "" {
+			ids = strings.Split(*run, ",")
+		}
+		for _, id := range ids {
+			rep, err := experiments.Run(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *format == "" || *format == "text" {
+				// Stream text reports as they complete — a full paper
+				// regeneration takes minutes and should show progress.
+				if err := experiments.WriteReport(os.Stdout, *format, rep); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			reports = append(reports, rep)
+		}
+		if *format == "" || *format == "text" {
+			return
+		}
+	}
+	if err := experiments.WriteReport(os.Stdout, *format, reports...); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,105 @@
+package ic2mpi_test
+
+// Markdown link check over README.md and docs/: every relative link must
+// point at a file that exists, and every fragment into a Markdown file
+// must match a heading there. CI runs this as its link-check step.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline links [text](target); images share the syntax.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	return files
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; not checked offline
+			}
+			path, fragment, _ := strings.Cut(target, "#")
+			if path == "" {
+				// Same-file anchor.
+				checkAnchor(t, file, file, fragment)
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), path)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q: %v", file, target, err)
+				continue
+			}
+			if fragment != "" && strings.HasSuffix(resolved, ".md") {
+				checkAnchor(t, file, resolved, fragment)
+			}
+		}
+	}
+}
+
+// checkAnchor verifies a GitHub-style heading anchor exists in target.
+func checkAnchor(t *testing.T, from, target, fragment string) {
+	t.Helper()
+	body, err := os.ReadFile(target)
+	if err != nil {
+		t.Errorf("%s: cannot read %s for anchor #%s: %v", from, target, fragment, err)
+		return
+	}
+	inFence := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		// Shell comments inside fenced code blocks are not headings.
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		if githubAnchor(heading) == fragment {
+			return
+		}
+	}
+	t.Errorf("%s: link to %s#%s matches no heading", from, target, fragment)
+}
+
+// githubAnchor lowercases, strips non-alphanumerics (except hyphens and
+// spaces) and replaces spaces with hyphens — GitHub's anchor algorithm
+// for ASCII headings.
+func githubAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

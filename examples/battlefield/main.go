@@ -1,7 +1,11 @@
 // Command battlefield runs the time-stepped battlefield management
 // simulation (Section 2.2 of the thesis) on the iC2mpi platform under all
 // five static partitioning schemes of the evaluation and reports execution
-// times, speedups and the battle outcome.
+// times and the battle outcome.
+//
+// The workload is the registered "battlefield" scenario (a 32x32 hex
+// terrain with two compute+communicate sub-phases per time step); only
+// the partitioner parameter varies across runs, exactly like Tables 7-11.
 //
 // Usage:
 //
@@ -13,8 +17,9 @@ import (
 	"fmt"
 	"log"
 
-	"ic2mpi"
 	"ic2mpi/internal/battlefield"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/scenario"
 )
 
 func main() {
@@ -22,38 +27,41 @@ func main() {
 	procs := flag.Int("procs", 8, "virtual processors for the outcome report")
 	flag.Parse()
 
-	sc := battlefield.DefaultScenario()
-	terrain, err := sc.Terrain()
+	sc, err := scenario.Get("battlefield")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s, %d steps\n\n", terrain.Name, *steps)
+	fmt.Printf("%s, %d steps\n\n", sc.Description, *steps)
 
-	partitioners := []ic2mpi.Partitioner{
-		ic2mpi.NewMetis(1),
-		ic2mpi.BFPartition(),
-		ic2mpi.RowBand(),
-		ic2mpi.ColumnBand(),
-		ic2mpi.RectBand(),
-	}
-
-	fmt.Printf("%-14s", "partitioner")
+	partitioners := []string{"metis", "bf", "rowband", "colband", "rectband"}
 	sweep := []int{1, 2, 4, 8, 16}
+	fmt.Printf("%-14s", "partitioner")
 	for _, p := range sweep {
 		fmt.Printf("%10d", p)
 	}
 	fmt.Println(" (execution time, s)")
-	for _, pt := range partitioners {
-		fmt.Printf("%-14s", pt.Name())
+	for _, part := range partitioners {
+		fmt.Printf("%-14s", part)
 		for _, p := range sweep {
-			res := runOnce(sc, terrain, pt, p, *steps, true)
+			res, err := sc.Run(scenario.Params{Procs: p, Partitioner: part, Iterations: *steps})
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("%10.3f", res.Elapsed)
 		}
 		fmt.Println()
 	}
 
 	// Battle outcome under the best partitioner, with final data gathered.
-	res := runOnce(sc, terrain, partitioners[0], *procs, *steps, false)
+	cfg, err := sc.Config(scenario.Params{Procs: *procs, Partitioner: "metis", Iterations: *steps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.SkipFinalGather = false
+	res, err := platform.Run(*cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sum, err := battlefield.Summarize(res.FinalData)
 	if err != nil {
 		log.Fatal(err)
@@ -63,25 +71,4 @@ func main() {
 		sum.Units[battlefield.Red], sum.Strength[battlefield.Red], sum.Destroyed[battlefield.Red])
 	fmt.Printf("  blue: %4d units, strength %6d, destroyed %6d enemy strength\n",
 		sum.Units[battlefield.Blue], sum.Strength[battlefield.Blue], sum.Destroyed[battlefield.Blue])
-}
-
-func runOnce(sc battlefield.Scenario, terrain *ic2mpi.Graph, pt ic2mpi.Partitioner, procs, steps int, skipGather bool) *ic2mpi.Result {
-	part, err := pt.Partition(terrain, nil, procs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := ic2mpi.Run(ic2mpi.Config{
-		Graph:            terrain,
-		Procs:            procs,
-		InitialPartition: part,
-		InitData:         sc.InitData(),
-		Node:             sc.NodeFunc(battlefield.DefaultCost()),
-		Iterations:       steps,
-		SubPhases:        2, // intent + resolve rounds per time step
-		SkipFinalGather:  skipGather,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
 }

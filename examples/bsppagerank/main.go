@@ -3,14 +3,15 @@
 // conclusions propose ("this model essentially divides the computation
 // from communication phases as iC2mpi does").
 //
-// Vertices are block-distributed over the BSP processes; each superstep
-// every process computes its vertices' contributions, Puts them to the
-// owners of the out-neighbors, and Syncs. The distributed ranks are
-// verified against a sequential computation.
+// The workload is the registered "pagerank-bsp" scenario: vertices are
+// block-distributed over the BSP processes; each superstep every process
+// computes its vertices' contributions, Puts them to the owners of the
+// out-neighbors, and Syncs. The distributed ranks are verified against a
+// sequential computation.
 //
 // Usage:
 //
-//	go run ./examples/bsppagerank [-n 256] [-procs 8] [-iters 20]
+//	go run ./examples/bsppagerank [-procs 8] [-iters 20]
 package main
 
 import (
@@ -20,84 +21,32 @@ import (
 	"math"
 	"sort"
 
-	"ic2mpi"
-	"ic2mpi/internal/bsp"
+	"ic2mpi/internal/scenario"
 )
 
-const damping = 0.85
-
 func main() {
-	n := flag.Int("n", 256, "graph size")
 	procs := flag.Int("procs", 8, "BSP processes")
 	iters := flag.Int("iters", 20, "PageRank iterations")
 	flag.Parse()
 
-	g, err := ic2mpi.RandomGraph(*n, 8.0/float64(*n), 777)
+	sc, err := scenario.Get("pagerank-bsp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := sc.Graph()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("PageRank over %s on %d BSP processes, %d supersteps\n", g.Name, *procs, *iters)
 
-	ranks := make([]float64, *n)
-	err = bsp.Run(bsp.Options{Procs: *procs}, func(p *bsp.Proc) error {
-		nv := *n
-		lo := p.Pid() * nv / p.NProcs()
-		hi := (p.Pid() + 1) * nv / p.NProcs()
-		ownerOf := func(v int) int { return v * p.NProcs() / nv }
-
-		local := make([]float64, hi-lo)
-		for i := range local {
-			local[i] = 1.0 / float64(nv)
-		}
-		for iter := 0; iter < *iters; iter++ {
-			// Scatter contributions along edges.
-			for v := lo; v < hi; v++ {
-				deg := len(g.Adj[v])
-				if deg == 0 {
-					continue
-				}
-				share := local[v-lo] / float64(deg)
-				for _, u := range g.Adj[v] {
-					if err := p.Put(ownerOf(int(u)), int(u), share, 16); err != nil {
-						return err
-					}
-				}
-				p.Charge(float64(deg) * 50e-9)
-			}
-			in, err := p.Sync()
-			if err != nil {
-				return err
-			}
-			for i := range local {
-				local[i] = (1 - damping) / float64(nv)
-			}
-			for _, m := range in {
-				local[m.Tag-lo] += damping * m.Payload.(float64)
-			}
-		}
-		// Report results home (process 0 prints).
-		for v := lo; v < hi; v++ {
-			if err := p.Put(0, v, local[v-lo], 16); err != nil {
-				return err
-			}
-		}
-		in, err := p.Sync()
-		if err != nil {
-			return err
-		}
-		if p.Pid() == 0 {
-			for _, m := range in {
-				ranks[m.Tag] = m.Payload.(float64)
-			}
-		}
-		return nil
-	})
+	ranks, elapsed, err := scenario.PageRankBSP(g, *procs, *iters)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("virtual completion time: %.4fs\n", elapsed)
 
 	// Sequential reference.
-	want := pagerankSequential(g, *iters)
+	want := scenario.PageRankSequential(g, *iters)
 	var maxDiff float64
 	for v := range want {
 		if d := math.Abs(ranks[v] - want[v]); d > maxDiff {
@@ -113,7 +62,7 @@ func main() {
 		v int
 		r float64
 	}
-	top := make([]vr, *n)
+	top := make([]vr, len(ranks))
 	for v := range top {
 		top[v] = vr{v: v, r: ranks[v]}
 	}
@@ -122,30 +71,4 @@ func main() {
 	for _, t := range top[:5] {
 		fmt.Printf("  vertex %3d  rank %.6f  degree %d\n", t.v, t.r, len(g.Adj[t.v]))
 	}
-}
-
-func pagerankSequential(g *ic2mpi.Graph, iters int) []float64 {
-	n := g.NumVertices()
-	r := make([]float64, n)
-	next := make([]float64, n)
-	for v := range r {
-		r[v] = 1.0 / float64(n)
-	}
-	for it := 0; it < iters; it++ {
-		for v := range next {
-			next[v] = (1 - damping) / float64(n)
-		}
-		for v := 0; v < n; v++ {
-			deg := len(g.Adj[v])
-			if deg == 0 {
-				continue
-			}
-			share := r[v] / float64(deg)
-			for _, u := range g.Adj[v] {
-				next[u] += damping * share
-			}
-		}
-		r, next = next, r
-	}
-	return r
 }

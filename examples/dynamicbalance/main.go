@@ -1,12 +1,17 @@
 // Command dynamicbalance demonstrates the platform's load balancing & task
-// migration phase: it runs the thesis' neighbor-averaging application
-// under the Fig. 23 dynamic-imbalance schedule (a coarse-grain window
-// sweeping across the node ID space every ten iterations) with and without
-// the centralized heuristic balancer, and prints the comparison.
+// migration phase: it runs the registered "imbalance" scenario — the
+// thesis' neighbor-averaging application under the Fig. 23
+// dynamic-imbalance schedule (a coarse-grain window sweeping across the
+// node ID space every ten iterations) — with and without the centralized
+// heuristic balancer, and prints the comparison.
+//
+// The same comparison is available as a machine-readable sweep:
+//
+//	go run ./cmd/experiments -scenario imbalance -sweep "balancer=none,centralized" -format csv
 //
 // Usage:
 //
-//	go run ./examples/dynamicbalance [-nodes 64] [-iters 25]
+//	go run ./examples/dynamicbalance [-iters 25]
 package main
 
 import (
@@ -14,50 +19,27 @@ import (
 	"fmt"
 	"log"
 
-	"ic2mpi"
-	"ic2mpi/internal/workload"
+	"ic2mpi/internal/scenario"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 64, "random graph size")
 	iters := flag.Int("iters", 25, "iterations")
 	flag.Parse()
 
-	g, err := ic2mpi.RandomGraph(*nodes, 4.0/float64(*nodes), int64(*nodes)*100+1)
+	sc, err := scenario.Get("imbalance")
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The thesis' imbalance generator: dummy loops of 100000 vs 1000
-	// iterations, i.e. a 100:1 grain ratio, in windows that shift every 10
-	// time steps.
-	grain := workload.Fig23Schedule(*nodes, workload.CoarseGrain, workload.CoarseGrain/100)
-	node := workload.Averaging(grain)
-
-	fmt.Printf("%s, %d iterations, Fig. 23 imbalance schedule\n\n", g.Name, *iters)
+	fmt.Printf("%s: %s (%d iterations)\n\n", sc.Name, sc.Description, *iters)
 	fmt.Printf("%8s %14s %14s %12s %12s\n", "procs", "static (s)", "dynamic (s)", "improvement", "migrations")
 	for _, procs := range []int{2, 4, 8} {
-		part, err := ic2mpi.NewMetis(1).Partition(g, nil, procs)
+		static, err := sc.Run(scenario.Params{Procs: procs, Iterations: *iters, Balancer: "none"})
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := ic2mpi.Config{
-			Graph:            g,
-			Procs:            procs,
-			InitialPartition: part,
-			InitData:         func(id ic2mpi.NodeID) ic2mpi.NodeData { return ic2mpi.IntData(int64(id) + 1) },
-			Node:             node,
-			Iterations:       *iters,
-			SkipFinalGather:  true,
-		}
-		static, err := ic2mpi.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dyn := cfg
-		dyn.Balancer = ic2mpi.NewCentralizedBalancer(0, false)
-		dyn.BalanceEvery = 3
-		dyn.BalanceRounds = 4
-		dynamic, err := ic2mpi.Run(dyn)
+		// The empty balancer selects the scenario's default: the
+		// centralized heuristic every 3 steps with multi-round migration.
+		dynamic, err := sc.Run(scenario.Params{Procs: procs, Iterations: *iters})
 		if err != nil {
 			log.Fatal(err)
 		}

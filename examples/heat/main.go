@@ -4,10 +4,13 @@
 // iC2mpi platform, demonstrating a user-defined NodeData type beyond plain
 // integers.
 //
-// The domain is a hex mesh with a hot spot in one corner and a cold spot
-// in the opposite corner; each node relaxes toward the mean of its
-// neighbors. The example verifies the distributed run against the
-// sequential reference and reports the residual over time.
+// The workload is the registered scenario "heat": a hex mesh with a hot
+// spot in one corner and a cold spot in the opposite corner, each node
+// relaxing toward the mean of its neighbors in fixed-point micro-kelvins
+// (scenario.Temp). The -rows/-cols flags resize the mesh by overriding
+// the scenario's graph plug-ins, showing how a registered scenario is
+// customized. The example verifies the distributed run against the
+// sequential reference and reports the temperature field.
 //
 // Usage:
 //
@@ -20,78 +23,39 @@ import (
 	"log"
 	"math"
 
-	"ic2mpi"
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/scenario"
 )
 
-// Temp is the user-supplied node data: a temperature in fixed-point
-// micro-kelvins so results are exact across executions (the platform
-// compares distributed and sequential runs bitwise).
-type Temp int64
-
-// CloneData implements ic2mpi.NodeData.
-func (t Temp) CloneData() ic2mpi.NodeData { return t }
-
-// SizeBytes implements ic2mpi.NodeData.
-func (t Temp) SizeBytes() int { return 8 }
-
 func main() {
-	rows := flag.Int("rows", 16, "mesh rows")
-	cols := flag.Int("cols", 16, "mesh columns")
+	rows := flag.Int("rows", scenario.HeatRows, "mesh rows")
+	cols := flag.Int("cols", scenario.HeatCols, "mesh columns")
 	iters := flag.Int("iters", 100, "relaxation iterations")
 	procs := flag.Int("procs", 8, "virtual processors")
 	flag.Parse()
 
-	g, err := ic2mpi.HexGrid(*rows, *cols)
+	sc, err := scenario.Get("heat")
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := g.NumVertices()
-	hot, cold := ic2mpi.NodeID(0), ic2mpi.NodeID(n-1)
+	// Resize the mesh by overriding the scenario's graph-dependent
+	// plug-ins; everything else (cost model, defaults) is inherited.
+	n := *rows * *cols
+	sc.Graph = func() (*graph.Graph, error) { return graph.HexGrid(*rows, *cols) }
+	sc.InitData = scenario.HeatInit(n)
+	sc.Node = func(*graph.Graph) platform.NodeFunc { return scenario.HeatNode(n) }
 
-	initData := func(id ic2mpi.NodeID) ic2mpi.NodeData {
-		switch id {
-		case hot:
-			return Temp(1_000_000) // 1.0 in micro-units
-		case cold:
-			return Temp(-1_000_000)
-		default:
-			return Temp(0)
-		}
-	}
-	// Dirichlet boundary at the hot/cold spots; everything else relaxes to
-	// the neighbor mean.
-	node := func(id ic2mpi.NodeID, iter, sub int, self ic2mpi.NodeData, nbrs []ic2mpi.Neighbor) (ic2mpi.NodeData, float64) {
-		if id == hot || id == cold {
-			return self, 0.1e-3
-		}
-		var sum int64
-		for _, nb := range nbrs {
-			sum += int64(nb.Data.(Temp))
-		}
-		return Temp(sum / int64(len(nbrs))), 0.1e-3
-	}
-
-	part, err := ic2mpi.NewMetis(7).Partition(g, nil, *procs)
+	cfg, err := sc.Config(scenario.Params{Procs: *procs, Iterations: *iters})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := ic2mpi.Config{
-		Graph:            g,
-		Procs:            *procs,
-		InitialPartition: part,
-		InitData:         initData,
-		Node:             node,
-		Iterations:       *iters,
-		// The pooled exchange fast path. The check below verifies this
-		// pooled run against the sequential reference; pooled-vs-unpooled
-		// equivalence is enforced separately by TestExchangeDeterminism.
-		ReuseBuffers: true,
-	}
-	res, err := ic2mpi.Run(cfg)
+	cfg.SkipFinalGather = false
+	res, err := platform.Run(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	want, err := ic2mpi.RunSequential(cfg)
+	want, err := platform.RunSequential(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +69,7 @@ func main() {
 	var min, max, mean float64
 	min, max = math.Inf(1), math.Inf(-1)
 	for _, d := range res.FinalData {
-		t := float64(d.(Temp)) / 1e6
+		t := float64(d.(scenario.Temp)) / 1e6
 		mean += t
 		if t < min {
 			min = t

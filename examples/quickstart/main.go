@@ -3,6 +3,13 @@
 // across 1..16 virtual processors and prints the speedup curve, without a
 // line of message-passing code.
 //
+// The workload is the registered scenario "hex64-fine"; the same graph,
+// node data and node function can be plugged into the public ic2mpi API
+// directly (see the package example in ic2mpi.go and the README), and
+// swept from the command line with
+//
+//	go run ./cmd/experiments -scenario hex64-fine
+//
 // Usage:
 //
 //	go run ./examples/quickstart
@@ -12,58 +19,26 @@ import (
 	"fmt"
 	"log"
 
-	"ic2mpi"
+	"ic2mpi/internal/scenario"
 )
 
-// grain is the per-node compute cost injected into the node function — the
-// thesis' "dummy for loop" at fine grain (0.3 ms).
-const grain = 0.3e-3
-
-// average is the user plug-in node computation: each node takes the mean
-// of its own and its neighbors' values.
-func average(id ic2mpi.NodeID, iter, sub int, self ic2mpi.NodeData, nbrs []ic2mpi.Neighbor) (ic2mpi.NodeData, float64) {
-	sum := int64(self.(ic2mpi.IntData))
-	for _, nb := range nbrs {
-		sum += int64(nb.Data.(ic2mpi.IntData))
-	}
-	return ic2mpi.IntData(sum / int64(len(nbrs)+1)), grain
-}
-
 func main() {
-	g, err := ic2mpi.HexGrid(8, 8)
+	sc, err := scenario.Get("hex64-fine")
 	if err != nil {
 		log.Fatal(err)
 	}
-	metis := ic2mpi.NewMetis(1)
-
 	fmt.Println("64-node hexagonal grid, 20 iterations, fine grain (0.3 ms)")
 	fmt.Printf("%8s %12s %10s %10s\n", "procs", "time (s)", "speedup", "edge cut")
 	var base float64
 	for _, procs := range []int{1, 2, 4, 8, 16} {
-		part, err := metis.Partition(g, nil, procs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		q, err := ic2mpi.EvaluatePartition(g, part, procs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := ic2mpi.Run(ic2mpi.Config{
-			Graph:            g,
-			Procs:            procs,
-			InitialPartition: part,
-			InitData:         func(id ic2mpi.NodeID) ic2mpi.NodeData { return ic2mpi.IntData(int64(id) + 1) },
-			Node:             average,
-			Iterations:       20,
-			ReuseBuffers:     true,
-		})
+		res, err := sc.Run(scenario.Params{Procs: procs})
 		if err != nil {
 			log.Fatal(err)
 		}
 		if procs == 1 {
 			base = res.Elapsed
 		}
-		fmt.Printf("%8d %12.4f %10.2f %10d\n", procs, res.Elapsed, base/res.Elapsed, q.EdgeCut)
+		fmt.Printf("%8d %12.4f %10.2f %10d\n", procs, res.Elapsed, base/res.Elapsed, res.EdgeCut)
 	}
 	fmt.Println("\nEvery run computes bit-identical node data (verified against")
 	fmt.Println("a sequential reference by the platform's test suite).")

@@ -100,13 +100,22 @@ type (
 
 // Platform phase identifiers (Figures 21-22 of the paper).
 const (
-	PhaseInit            = platform.PhaseInit
+	// PhaseInit covers graph connectivity, node list, data list and hash
+	// table setup.
+	PhaseInit = platform.PhaseInit
+	// PhaseComputeOverhead covers forming node+neighbor lists and writing
+	// back results around the node function.
 	PhaseComputeOverhead = platform.PhaseComputeOverhead
-	PhaseCompute         = platform.PhaseCompute
-	PhaseCommOverhead    = platform.PhaseCommOverhead
-	PhaseCommunicate     = platform.PhaseCommunicate
-	PhaseLoadBalance     = platform.PhaseLoadBalance
-	NumPhases            = platform.NumPhases
+	// PhaseCompute is the application node computation itself (the grain).
+	PhaseCompute = platform.PhaseCompute
+	// PhaseCommOverhead covers packing and unpacking shadow-node buffers.
+	PhaseCommOverhead = platform.PhaseCommOverhead
+	// PhaseCommunicate is the send/receive of shadow node information.
+	PhaseCommunicate = platform.PhaseCommunicate
+	// PhaseLoadBalance covers imbalance statistics and task migration.
+	PhaseLoadBalance = platform.PhaseLoadBalance
+	// NumPhases is the number of instrumented phases.
+	NumPhases = platform.NumPhases
 )
 
 // Run executes the platform on cfg and blocks until every virtual

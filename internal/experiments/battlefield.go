@@ -3,15 +3,13 @@ package experiments
 import (
 	"fmt"
 
-	"ic2mpi/internal/battlefield"
-	"ic2mpi/internal/platform"
-	"ic2mpi/internal/topology"
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/scenario"
 )
 
 // Tables 7-11 and Figure 20: the 32x32-hex battlefield management
 // simulation under five static partitioning schemes, varying simulation
-// steps and processor counts.
+// steps and processor counts. The workload is the registered
+// "battlefield" scenario; only the partitioner axis varies.
 
 var battlefieldSteps = []int{5, 15, 25}
 
@@ -27,42 +25,9 @@ var battlefieldPartitioners = []struct {
 	{"table11", "rectband", "Execution Time (in seconds) of Battlefield Simulator using Rectangular Partition"},
 }
 
-// battlefieldRun executes the battlefield simulation on the platform.
-func battlefieldRun(partName string, procs, steps int) (*platform.Result, error) {
-	sc := battlefield.DefaultScenario()
-	terrain, err := sc.Terrain()
-	if err != nil {
-		return nil, err
-	}
-	part, err := partitionFor(partName, terrain, procs)
-	if err != nil {
-		return nil, err
-	}
-	net, err := topology.Hypercube(procs)
-	if err != nil {
-		return nil, err
-	}
-	cfg := platform.Config{
-		Graph:            terrain,
-		Procs:            procs,
-		InitialPartition: part,
-		InitData:         sc.InitData(),
-		Node:             sc.NodeFunc(battlefield.DefaultCost()),
-		Iterations:       steps,
-		SubPhases:        2,
-		Cost:             vtime.Origin2000(),
-		Overheads:        platform.DefaultOverheads(),
-		Network:          net,
-		SkipFinalGather:  true,
-		// Pooled exchange buffers: host-side speedup only, virtual results
-		// are bit-identical (TestExchangeDeterminism).
-		ReuseBuffers: true,
-	}
-	return platform.Run(cfg)
-}
-
 func battlefieldTable(id, partName, title string) Runner {
 	return func() (Report, error) {
+		sc := mustScenario("battlefield")
 		t := &Table{
 			ID: id, Title: title,
 			RowHeader: "Sim. Steps",
@@ -71,7 +36,7 @@ func battlefieldTable(id, partName, title string) Runner {
 		for _, steps := range battlefieldSteps {
 			row := make([]float64, len(Procs))
 			for j, p := range Procs {
-				res, err := battlefieldRun(partName, p, steps)
+				res, err := sc.Run(scenario.Params{Procs: p, Partitioner: partName, Iterations: steps})
 				if err != nil {
 					return nil, err
 				}
@@ -86,6 +51,7 @@ func battlefieldTable(id, partName, title string) Runner {
 
 // fig20 plots battlefield speedup at 25 steps for all five partitioners.
 func fig20() (Report, error) {
+	sc := mustScenario("battlefield")
 	f := &Figure{
 		ID: "fig20", Title: "Performance of Battlefield Management Simulation for different Static Partitioning Algorithms",
 		XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
@@ -98,13 +64,9 @@ func fig20() (Report, error) {
 		{"rectband", "Rectangular"},
 	}
 	for _, n := range names {
-		times := make([]float64, len(Procs))
-		for i, p := range Procs {
-			res, err := battlefieldRun(n.part, p, 25)
-			if err != nil {
-				return nil, err
-			}
-			times[i] = res.Elapsed
+		times, err := timesFor(sc, n.part, 25, "none")
+		if err != nil {
+			return nil, err
 		}
 		f.Series = append(f.Series, Series{Name: n.label, Y: speedups(times)})
 	}

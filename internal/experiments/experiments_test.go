@@ -3,9 +3,6 @@ package experiments
 import (
 	"strings"
 	"testing"
-
-	"ic2mpi/internal/graph"
-	"ic2mpi/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -176,14 +173,13 @@ func TestFig23Schedule(t *testing.T) {
 	}
 }
 
-func TestPartitionForUnknown(t *testing.T) {
-	g, err := graph.PaperHexGrid(32)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := partitionFor("bogus", g, 2); err == nil {
-		t.Fatal("unknown partitioner accepted")
-	}
+func TestMustScenarioUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mustScenario on unknown name did not panic")
+		}
+	}()
+	mustScenario("bogus")
 }
 
 func TestSpeedupsHelper(t *testing.T) {
@@ -197,19 +193,18 @@ func TestSpeedupsHelper(t *testing.T) {
 	}
 }
 
-func TestGenericRunDefaults(t *testing.T) {
-	g, err := graph.PaperHexGrid(32)
+func TestTimesForDefaults(t *testing.T) {
+	times, err := timesFor(mustScenario("hex32-fine"), "", 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := genericRun{G: g, Partition: "metis", Procs: 2, Iterations: 2,
-		Grain: workload.UniformGrain(workload.FineGrain)}
-	e, err := r.elapsed()
-	if err != nil {
-		t.Fatal(err)
+	if len(times) != len(Procs) {
+		t.Fatalf("timesFor returned %d entries", len(times))
 	}
-	if e <= 0 {
-		t.Fatal("no elapsed time")
+	for i, e := range times {
+		if e <= 0 {
+			t.Fatalf("no elapsed time at %d procs", Procs[i])
+		}
 	}
 }
 

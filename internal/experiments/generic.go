@@ -5,6 +5,7 @@ import (
 
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/platform"
+	"ic2mpi/internal/scenario"
 	"ic2mpi/internal/workload"
 )
 
@@ -12,31 +13,14 @@ import (
 // fine-grain (0.3 ms) node computation, Metis static partitioning.
 // Tables 5-6: the same sweeps on 32- and 64-node random graphs.
 // Figures 11-19: speedup and comparison plots derived from the same
-// workloads.
+// workloads. All workloads resolve from the scenario registry (or its
+// constructors, for graph-size variants that are not registered).
 
 var tableIters = []int{10, 15, 20}
 
-func hexTable(id string, n int) Runner {
+func scenarioTable(id, title, scenarioName string) Runner {
 	return func() (Report, error) {
-		g, err := graph.PaperHexGrid(n)
-		if err != nil {
-			return nil, err
-		}
-		return executionTimeTable(id,
-			fmt.Sprintf("Execution Time (in seconds) on %d-node Hexagonal Grids", n),
-			g, tableIters, workload.UniformGrain(workload.FineGrain))
-	}
-}
-
-func randomTable(id string, n int) Runner {
-	return func() (Report, error) {
-		g, err := graph.PaperRandom(n)
-		if err != nil {
-			return nil, err
-		}
-		return executionTimeTable(id,
-			fmt.Sprintf("Execution Time (in seconds) on %d-node Random Graphs", n),
-			g, tableIters, workload.UniformGrain(workload.FineGrain))
+		return executionTimeTable(id, title, mustScenario(scenarioName), tableIters)
 	}
 }
 
@@ -47,11 +31,7 @@ func fig11() (Report, error) {
 		XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
 	}
 	for _, n := range []int{32, 64, 96} {
-		g, err := graph.PaperHexGrid(n)
-		if err != nil {
-			return nil, err
-		}
-		times, err := timesFor(g, "metis", 20, workload.UniformGrain(workload.FineGrain), nil)
+		times, err := timesFor(mustScenario(fmt.Sprintf("hex%d-fine", n)), "metis", 20, "none")
 		if err != nil {
 			return nil, err
 		}
@@ -61,29 +41,25 @@ func fig11() (Report, error) {
 }
 
 // metisVsPaGrid builds Figures 12 and 17: fine and coarse grain speedups
-// under both partitioners.
-func metisVsPaGrid(id, title string, mk func() (*graph.Graph, error)) Runner {
+// under both partitioners, from the registered fine/coarse scenario pair.
+func metisVsPaGrid(id, title, fineScenario, coarseScenario string) Runner {
 	return func() (Report, error) {
-		g, err := mk()
-		if err != nil {
-			return nil, err
-		}
 		f := &Figure{
 			ID: id, Title: title,
 			XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
 		}
 		type variant struct {
-			name  string
-			part  string
-			grain float64
+			name     string
+			scenario string
+			part     string
 		}
 		for _, v := range []variant{
-			{"Fine Grain (0.3ms) - Metis", "metis", workload.FineGrain},
-			{"Coarse Grain (3ms) - Metis", "metis", workload.CoarseGrain},
-			{"Fine Grain (0.3ms) - PaGrid", "pagrid", workload.FineGrain},
-			{"Coarse Grain (3ms) - PaGrid", "pagrid", workload.CoarseGrain},
+			{"Fine Grain (0.3ms) - Metis", fineScenario, "metis"},
+			{"Coarse Grain (3ms) - Metis", coarseScenario, "metis"},
+			{"Fine Grain (0.3ms) - PaGrid", fineScenario, "pagrid"},
+			{"Coarse Grain (3ms) - PaGrid", coarseScenario, "pagrid"},
 		} {
-			times, err := timesFor(g, v.part, 20, workload.UniformGrain(v.grain), nil)
+			times, err := timesFor(mustScenario(v.scenario), v.part, 20, "none")
 			if err != nil {
 				return nil, err
 			}
@@ -95,27 +71,25 @@ func metisVsPaGrid(id, title string, mk func() (*graph.Graph, error)) Runner {
 
 // staticVsDynamic builds Figures 13-15 and 18-19: speedup with and without
 // the dynamic load balancing utility under the Fig. 23 imbalance schedule,
-// 25 iterations, balancing every 10 time steps. Speedups are relative to
-// the 1-processor execution of the same workload.
+// 25 iterations. Speedups are relative to the 1-processor execution of the
+// same workload.
 func staticVsDynamic(id, title string, mk func() (*graph.Graph, error)) Runner {
 	return func() (Report, error) {
-		g, err := mk()
-		if err != nil {
-			return nil, err
-		}
 		// The thesis' imbalance generator uses dummy loops of 100000 vs
-		// 1000 iterations — a 100:1 grain ratio (Appendix B).
-		grain := workload.Fig23Schedule(g.NumVertices(), workload.CoarseGrain, workload.CoarseGrain/100)
+		// 1000 iterations — a 100:1 grain ratio (Appendix B); the scenario
+		// constructor defaults to the Section 7 balancer extensions
+		// (period 3, multi-round migration).
+		sc := scenario.ImbalanceScenario(id+"-imbalance", mk)
 		f := &Figure{
 			ID: id, Title: title,
 			XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
 			Notes: "Fig. 23 imbalance schedule (100:1 grain ratio); balancer every 3 steps, multi-round migration (see EXPERIMENTS.md)",
 		}
-		dynTimes, err := timesFor(g, "metis", 25, grain, dynamicBalancer())
+		dynTimes, err := timesFor(sc, "metis", 25, "")
 		if err != nil {
 			return nil, err
 		}
-		statTimes, err := timesFor(g, "metis", 25, grain, nil)
+		statTimes, err := timesFor(sc, "metis", 25, "none")
 		if err != nil {
 			return nil, err
 		}
@@ -142,11 +116,7 @@ func fig16() (Report, error) {
 		XLabel: "Processor", X: procLabels(), YLabel: "Speed-up",
 	}
 	for _, n := range []int{32, 64} {
-		g, err := graph.PaperRandom(n)
-		if err != nil {
-			return nil, err
-		}
-		times, err := timesFor(g, "metis", 20, workload.UniformGrain(workload.FineGrain), nil)
+		times, err := timesFor(mustScenario(fmt.Sprintf("random%d-fine", n)), "metis", 20, "none")
 		if err != nil {
 			return nil, err
 		}
@@ -160,10 +130,7 @@ func fig16() (Report, error) {
 // invoked every 10 time steps, across 2-16 processors.
 func overheadFigure(id, title string, mk func() (*graph.Graph, error)) Runner {
 	return func() (Report, error) {
-		g, err := mk()
-		if err != nil {
-			return nil, err
-		}
+		sc := scenario.OverheadScenario(id+"-overhead", mk)
 		procs := []int{2, 4, 8, 16}
 		f := &Figure{
 			ID: id, Title: title,
@@ -179,17 +146,12 @@ func overheadFigure(id, title string, mk func() (*graph.Graph, error)) Runner {
 			series[ph].Y = make([]float64, len(procs))
 		}
 		for i, p := range procs {
-			r := genericRun{
-				G: g, Partition: "metis", Procs: p, Iterations: 35,
-				Grain:    workload.Fig23Schedule(g.NumVertices(), workload.CoarseGrain, workload.FineGrain),
-				Balancer: dynamicBalancer(),
-			}
-			res, err := r.execute()
+			res, err := sc.Run(scenario.Params{Procs: p})
 			if err != nil {
 				return nil, err
 			}
 			for ph := 0; ph < platform.NumPhases; ph++ {
-				series[ph].Y[i] = res.MaxPhase(platform.Phase(ph))
+				series[ph].Y[i] = res.Phases[ph]
 			}
 		}
 		f.Series = series
@@ -224,15 +186,20 @@ func fig23() (Report, error) {
 }
 
 func init() {
-	Registry["table2"] = hexTable("table2", 32)
-	Registry["table3"] = hexTable("table3", 64)
-	Registry["table4"] = hexTable("table4", 96)
-	Registry["table5"] = randomTable("table5", 32)
-	Registry["table6"] = randomTable("table6", 64)
+	Registry["table2"] = scenarioTable("table2",
+		"Execution Time (in seconds) on 32-node Hexagonal Grids", "hex32-fine")
+	Registry["table3"] = scenarioTable("table3",
+		"Execution Time (in seconds) on 64-node Hexagonal Grids", "hex64-fine")
+	Registry["table4"] = scenarioTable("table4",
+		"Execution Time (in seconds) on 96-node Hexagonal Grids", "hex96-fine")
+	Registry["table5"] = scenarioTable("table5",
+		"Execution Time (in seconds) on 32-node Random Graphs", "random32-fine")
+	Registry["table6"] = scenarioTable("table6",
+		"Execution Time (in seconds) on 64-node Random Graphs", "random64-fine")
 	Registry["fig11"] = fig11
 	Registry["fig12"] = metisVsPaGrid("fig12",
 		"Metis vs PaGrid for Fine and Coarse Grained 64-node Hexagonal Grids",
-		func() (*graph.Graph, error) { return graph.PaperHexGrid(64) })
+		"hex64-fine", "hex64-coarse")
 	Registry["fig13"] = staticVsDynamic("fig13",
 		"Static v Dynamic Partitioning on 64-node Hexagonal Grids",
 		func() (*graph.Graph, error) { return graph.PaperHexGrid(64) })
@@ -245,7 +212,7 @@ func init() {
 	Registry["fig16"] = fig16
 	Registry["fig17"] = metisVsPaGrid("fig17",
 		"Metis vs PaGrid on Fine and Coarse Grained 64-node Random Graphs",
-		func() (*graph.Graph, error) { return graph.PaperRandom(64) })
+		"random64-fine", "random64-coarse")
 	Registry["fig18"] = staticVsDynamic("fig18",
 		"Performance of Dynamic Partitioning on 64-node Random Graphs",
 		func() (*graph.Graph, error) { return graph.PaperRandom(64) })

@@ -1,10 +1,3 @@
-// Package experiments regenerates every table and figure of the thesis'
-// evaluation (Section 5) on the simulated cluster: execution-time tables
-// for hexagonal grids, random graphs and the battlefield simulation,
-// speedup figures for static partitioners, Metis-vs-PaGrid comparisons,
-// static-vs-dynamic load balancing comparisons, and the platform overhead
-// breakdowns. Each experiment is addressable by its paper ID ("table2",
-// "fig17", ...) through the Registry.
 package experiments
 
 import (

@@ -3,13 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"ic2mpi/internal/balance"
-	"ic2mpi/internal/graph"
-	"ic2mpi/internal/partition"
-	"ic2mpi/internal/platform"
-	"ic2mpi/internal/topology"
-	"ic2mpi/internal/vtime"
-	"ic2mpi/internal/workload"
+	"ic2mpi/internal/scenario"
 )
 
 // Procs is the processor sweep of every experiment in the paper.
@@ -24,93 +18,19 @@ func procLabels() []string {
 	return out
 }
 
-// partitionFor runs the named partitioner ("metis", "pagrid", "rowband",
-// "colband", "rectband", "bf") on g for k processors. PaGrid maps onto the
-// Origin 2000's hypercube with the paper's Rref = 0.45.
-func partitionFor(name string, g *graph.Graph, k int) ([]int, error) {
-	switch name {
-	case "metis":
-		return (&partition.Multilevel{Seed: 1}).Partition(g, nil, k)
-	case "pagrid":
-		net, err := topology.Hypercube(k)
-		if err != nil {
-			return nil, err
-		}
-		return (&partition.PaGrid{Rref: 0.45, Seed: 1}).Partition(g, net, k)
-	case "rowband":
-		return partition.RowBand{}.Partition(g, nil, k)
-	case "colband":
-		return partition.ColumnBand{}.Partition(g, nil, k)
-	case "rectband":
-		return partition.RectBand{}.Partition(g, nil, k)
-	case "bf":
-		return partition.BFGrayCode{}.Partition(g, nil, k)
-	default:
-		return nil, fmt.Errorf("experiments: unknown partitioner %q", name)
-	}
-}
-
-// genericRun measures one platform execution of the thesis' generic
-// neighbor-averaging application.
-type genericRun struct {
-	G             *graph.Graph
-	Partition     string
-	Procs         int
-	Iterations    int
-	Grain         workload.GrainFunc
-	Balancer      platform.Balancer
-	BalanceEvery  int
-	BalanceRounds int
-	Overlap       bool
-}
-
-func (r genericRun) execute() (*platform.Result, error) {
-	part, err := partitionFor(r.Partition, r.G, r.Procs)
+// mustScenario resolves a registered scenario the experiments depend on;
+// a missing name is a programming error caught by the registry tests.
+func mustScenario(name string) scenario.Scenario {
+	sc, err := scenario.Get(name)
 	if err != nil {
-		return nil, err
+		panic(err)
 	}
-	every := r.BalanceEvery
-	if every == 0 {
-		every = 10
-	}
-	// All experiments execute on the Origin 2000's hypercube: wire cost
-	// scales with hop count, which is what PaGrid's placement optimizes.
-	net, err := topology.Hypercube(r.Procs)
-	if err != nil {
-		return nil, err
-	}
-	cfg := platform.Config{
-		Graph:            r.G,
-		Procs:            r.Procs,
-		InitialPartition: part,
-		InitData:         workload.InitID,
-		Node:             workload.Averaging(r.Grain),
-		Iterations:       r.Iterations,
-		Balancer:         r.Balancer,
-		BalanceEvery:     every,
-		BalanceRounds:    r.BalanceRounds,
-		Overlap:          r.Overlap,
-		Cost:             vtime.Origin2000(),
-		Overheads:        platform.DefaultOverheads(),
-		Network:          net,
-		SkipFinalGather:  true,
-		// Pooled exchange buffers: host-side speedup only, virtual results
-		// are bit-identical (TestExchangeDeterminism).
-		ReuseBuffers: true,
-	}
-	return platform.Run(cfg)
+	return sc
 }
 
-func (r genericRun) elapsed() (float64, error) {
-	res, err := r.execute()
-	if err != nil {
-		return 0, err
-	}
-	return res.Elapsed, nil
-}
-
-// executionTimeTable builds a Tables 2-6 style sweep: iterations x procs.
-func executionTimeTable(id, title string, g *graph.Graph, iters []int, grain workload.GrainFunc) (*Table, error) {
+// executionTimeTable builds a Tables 2-6 style sweep of one scenario:
+// iterations x procs, Metis partitioning, scenario defaults elsewhere.
+func executionTimeTable(id, title string, sc scenario.Scenario, iters []int) (*Table, error) {
 	t := &Table{
 		ID:        id,
 		Title:     title,
@@ -120,11 +40,11 @@ func executionTimeTable(id, title string, g *graph.Graph, iters []int, grain wor
 	for _, it := range iters {
 		row := make([]float64, len(Procs))
 		for j, p := range Procs {
-			e, err := genericRun{G: g, Partition: "metis", Procs: p, Iterations: it, Grain: grain}.elapsed()
+			res, err := sc.Run(scenario.Params{Procs: p, Iterations: it, Balancer: "none"})
 			if err != nil {
 				return nil, err
 			}
-			row[j] = e
+			row[j] = res.Elapsed
 		}
 		t.Rows = append(t.Rows, fmt.Sprint(it))
 		t.Values = append(t.Values, row)
@@ -144,30 +64,23 @@ func speedups(times []float64) []float64 {
 	return out
 }
 
-// timesFor measures elapsed time across the processor sweep.
-func timesFor(g *graph.Graph, partitioner string, iters int, grain workload.GrainFunc, bal platform.Balancer) ([]float64, error) {
+// timesFor measures a scenario's elapsed time across the processor sweep.
+// partitioner and balancer override the scenario's defaults when
+// non-empty ("none" explicitly disables balancing — the static baseline
+// of a scenario that defaults to a dynamic balancer).
+func timesFor(sc scenario.Scenario, partitioner string, iters int, balancer string) ([]float64, error) {
 	out := make([]float64, len(Procs))
 	for i, p := range Procs {
-		r := genericRun{G: g, Partition: partitioner, Procs: p, Iterations: iters, Grain: grain, Balancer: bal}
-		if bal != nil {
-			// Dynamic runs use the Section 7 extensions: a shorter
-			// balancing period (so the balancer can correct within an
-			// imbalance window of the Fig. 23 schedule) and multi-round
-			// migration. See EXPERIMENTS.md for the rationale.
-			r.BalanceEvery = 3
-			r.BalanceRounds = 4
-		}
-		if p == 1 {
-			r.Balancer = nil // nothing to balance on one processor
-		}
-		e, err := r.elapsed()
+		res, err := sc.Run(scenario.Params{
+			Procs:       p,
+			Partitioner: partitioner,
+			Iterations:  iters,
+			Balancer:    balancer,
+		})
 		if err != nil {
 			return nil, err
 		}
-		out[i] = e
+		out[i] = res.Elapsed
 	}
 	return out, nil
 }
-
-// dynamicBalancer returns the thesis' centralized heuristic.
-func dynamicBalancer() platform.Balancer { return &balance.CentralizedHeuristic{} }

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ic2mpi/internal/scenario"
+)
+
+// The generic sweep engine: a cartesian sweep of one scenario over the
+// platform's configuration axes (processor count, static partitioner,
+// exchange mode, buffer pooling, dynamic balancer, iteration count),
+// producing a machine-readable SweepReport. The paper's tables and
+// figures are special cases of this engine; `cmd/experiments -scenario`
+// exposes it directly.
+
+// Axes enumerates the parameter values a sweep visits; the cartesian
+// product of all axes is run. An empty string (or 0 for the numeric axes)
+// selects the scenario's default for that axis.
+type Axes struct {
+	// Procs is the processor-count axis.
+	Procs []int `json:"procs"`
+	// Partitioners is the static-partitioner axis (scenario.Partitioners
+	// names the accepted values).
+	Partitioners []string `json:"partitioners"`
+	// Exchanges is the exchange-mode axis ("basic", "overlap").
+	Exchanges []string `json:"exchanges"`
+	// Buffers is the buffer-pooling axis ("pooled", "unpooled").
+	Buffers []string `json:"buffers"`
+	// Balancers is the dynamic-balancer axis (scenario.Balancers names the
+	// accepted values).
+	Balancers []string `json:"balancers"`
+	// Iterations is the iteration-count axis.
+	Iterations []int `json:"iterations"`
+}
+
+// DefaultAxes sweeps the paper's processor counts with every other axis
+// at the scenario's default.
+func DefaultAxes() Axes {
+	return Axes{
+		Procs:        append([]int(nil), Procs...),
+		Partitioners: []string{""},
+		Exchanges:    []string{""},
+		Buffers:      []string{""},
+		Balancers:    []string{""},
+		Iterations:   []int{0},
+	}
+}
+
+// normalize fills empty axes with the single "scenario default" value.
+func (ax Axes) normalize() Axes {
+	if len(ax.Procs) == 0 {
+		ax.Procs = append([]int(nil), Procs...)
+	}
+	if len(ax.Partitioners) == 0 {
+		ax.Partitioners = []string{""}
+	}
+	if len(ax.Exchanges) == 0 {
+		ax.Exchanges = []string{""}
+	}
+	if len(ax.Buffers) == 0 {
+		ax.Buffers = []string{""}
+	}
+	if len(ax.Balancers) == 0 {
+		ax.Balancers = []string{""}
+	}
+	if len(ax.Iterations) == 0 {
+		ax.Iterations = []int{0}
+	}
+	return ax
+}
+
+// Size returns the number of runs the sweep performs.
+func (ax Axes) Size() int {
+	ax = ax.normalize()
+	return len(ax.Procs) * len(ax.Partitioners) * len(ax.Exchanges) *
+		len(ax.Buffers) * len(ax.Balancers) * len(ax.Iterations)
+}
+
+// ParseAxes parses a sweep specification of semicolon-separated
+// axis=value,value pairs, e.g.
+//
+//	procs=1,2,4,8;partitioner=metis,pagrid;buffers=pooled,unpooled
+//
+// Accepted axis names: procs, partitioner, exchange, buffers, balancer,
+// iters (singular and plural forms both work). Unspecified axes stay at
+// the scenario's default.
+func ParseAxes(spec string) (Axes, error) {
+	ax := Axes{}
+	if strings.TrimSpace(spec) == "" {
+		return ax, nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, list, ok := strings.Cut(clause, "=")
+		if !ok {
+			return ax, fmt.Errorf("experiments: sweep clause %q is not axis=value,...", clause)
+		}
+		var vals []string
+		for _, v := range strings.Split(list, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return ax, fmt.Errorf("experiments: sweep axis %q has no values", key)
+		}
+		switch strings.TrimSpace(key) {
+		case "procs", "proc":
+			for _, v := range vals {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return ax, fmt.Errorf("experiments: bad procs value %q", v)
+				}
+				ax.Procs = append(ax.Procs, n)
+			}
+		case "iters", "iterations":
+			for _, v := range vals {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return ax, fmt.Errorf("experiments: bad iterations value %q", v)
+				}
+				ax.Iterations = append(ax.Iterations, n)
+			}
+		case "partitioner", "partitioners", "part":
+			ax.Partitioners = vals
+		case "exchange", "exchanges":
+			ax.Exchanges = vals
+		case "buffers", "buffer":
+			ax.Buffers = vals
+		case "balancer", "balancers":
+			ax.Balancers = vals
+		default:
+			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, iters)", key)
+		}
+	}
+	return ax, nil
+}
+
+// SweepRow is one run of a sweep: the scenario result plus the speedup
+// relative to the 1-processor run with identical remaining parameters
+// (0 when the sweep has no 1-processor baseline).
+type SweepRow struct {
+	scenario.Result
+	Speedup float64 `json:"speedup"`
+}
+
+// SweepReport is the machine-readable result of one sweep, ordered
+// deterministically: iterations, partitioner, exchange, buffers,
+// balancer, then processor count, each in axis order.
+type SweepReport struct {
+	// ID is the report identifier ("sweep-<scenario>").
+	ID string `json:"id"`
+	// Title is the human-readable headline.
+	Title string `json:"title"`
+	// Scenario is the swept scenario's name.
+	Scenario string `json:"scenario"`
+	// Rows holds one entry per parameter combination.
+	Rows []SweepRow `json:"rows"`
+	// Notes carries caveats for the reader.
+	Notes string `json:"notes,omitempty"`
+}
+
+// RunSweep executes the cartesian sweep of sc over ax.
+func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
+	ax = ax.normalize()
+	rep := &SweepReport{
+		ID:       "sweep-" + sc.Name,
+		Title:    fmt.Sprintf("Sweep of scenario %s: %s", sc.Name, sc.Description),
+		Scenario: sc.Name,
+	}
+	for _, iters := range ax.Iterations {
+		for _, part := range ax.Partitioners {
+			for _, ex := range ax.Exchanges {
+				for _, buf := range ax.Buffers {
+					for _, bal := range ax.Balancers {
+						group := make([]SweepRow, 0, len(ax.Procs))
+						for _, procs := range ax.Procs {
+							res, err := sc.Run(scenario.Params{
+								Procs:       procs,
+								Partitioner: part,
+								Exchange:    ex,
+								Buffers:     buf,
+								Balancer:    bal,
+								Iterations:  iters,
+							})
+							if err != nil {
+								return nil, err
+							}
+							group = append(group, SweepRow{Result: *res})
+						}
+						// Speedups relative to the group's 1-processor run.
+						var base float64
+						for _, row := range group {
+							if row.Params.Procs == 1 {
+								base = row.Elapsed
+								break
+							}
+						}
+						for i := range group {
+							if base > 0 && group[i].Elapsed > 0 {
+								group[i].Speedup = base / group[i].Elapsed
+							}
+						}
+						rep.Rows = append(rep.Rows, group...)
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Format renders the sweep as an aligned text table.
+func (r *SweepReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "%6s %12s %8s %9s %19s %6s %12s %8s %9s %11s %9s\n",
+		"procs", "partitioner", "exchange", "buffers", "balancer", "iters",
+		"elapsed_s", "speedup", "edge_cut", "migrations", "msgs")
+	for _, row := range r.Rows {
+		p := row.Params
+		fmt.Fprintf(&b, "%6d %12s %8s %9s %19s %6d %12.4f %8.2f %9d %11d %9d\n",
+			p.Procs, p.Partitioner, p.Exchange, p.Buffers, p.Balancer, p.Iterations,
+			row.Elapsed, row.Speedup, row.EdgeCut, row.Migrations, row.MessagesSent)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (r *SweepReport) String() string { return r.Format() }
+
+// ScenarioList renders the registered scenarios for `-list`, sorted by
+// name (the order scenario.List returns).
+func ScenarioList() string {
+	var b strings.Builder
+	list := scenario.List()
+	width := 0
+	for _, sc := range list {
+		if len(sc.Name) > width {
+			width = len(sc.Name)
+		}
+	}
+	for _, sc := range list {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, sc.Name, sc.Description)
+	}
+	return b.String()
+}

@@ -114,6 +114,46 @@ func Random(n int, p float64, seed int64) (*Graph, error) {
 	return g, nil
 }
 
+// Grid returns a rows x cols rectangular grid with planar coordinates.
+// With moore false each interior cell has the four von Neumann neighbors
+// (N, S, E, W); with moore true the four diagonals are added, giving the
+// eight-cell Moore neighborhood cellular automata such as Game of Life
+// use. Boundaries are hard walls (no wraparound), matching the hex-grid
+// generators.
+func Grid(rows, cols int, moore bool) (*Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("graph: Grid dimensions must be positive, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	g := New(n)
+	kind := "von Neumann"
+	if moore {
+		kind = "Moore"
+	}
+	g.Name = fmt.Sprintf("%d-node Grid (%dx%d, %s)", n, rows, cols, kind)
+	g.Coords = make([]Coord, n)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	offsets := [][2]int{{0, 1}, {1, 0}}
+	if moore {
+		offsets = append(offsets, [2]int{1, 1}, [2]int{1, -1})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.Coords[id(r, c)] = Coord{Row: r, Col: c}
+			for _, d := range offsets {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					continue
+				}
+				if err := g.AddEdge(id(r, c), id(nr, nc), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
 // Path returns a path graph with n vertices, useful in tests as the
 // smallest connected topology with boundary effects.
 func Path(n int) (*Graph, error) {

@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/balance"
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/partition"
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/topology"
+	"ic2mpi/internal/vtime"
+)
+
+// Exchange modes selectable through Params.Exchange.
+const (
+	// ExchangeBasic is the Fig. 8 protocol: compute all nodes, then
+	// exchange shadow updates.
+	ExchangeBasic = "basic"
+	// ExchangeOverlap is the Fig. 8a variant: peripheral nodes first, then
+	// internal-node computation overlapped with communication.
+	ExchangeOverlap = "overlap"
+)
+
+// Buffer-pooling modes selectable through Params.Buffers.
+const (
+	// BuffersPooled enables the pooled exchange fast path
+	// (platform.Config.ReuseBuffers).
+	BuffersPooled = "pooled"
+	// BuffersUnpooled allocates exchange buffers freshly each round.
+	BuffersUnpooled = "unpooled"
+)
+
+// Params selects one point of a scenario's configuration space. The zero
+// value of every field means "use the scenario's default"; the sweep
+// engine enumerates explicit values along each axis.
+type Params struct {
+	// Procs is the number of virtual processors.
+	Procs int `json:"procs"`
+	// Partitioner names the static partitioner; see Partitioners for the
+	// accepted names.
+	Partitioner string `json:"partitioner"`
+	// Exchange is ExchangeBasic or ExchangeOverlap.
+	Exchange string `json:"exchange"`
+	// Buffers is BuffersPooled or BuffersUnpooled.
+	Buffers string `json:"buffers"`
+	// Balancer names the dynamic load balancer; see Balancers for the
+	// accepted names ("none" disables balancing).
+	Balancer string `json:"balancer"`
+	// Iterations is the number of outer iterations (time steps).
+	Iterations int `json:"iterations"`
+	// BalanceEvery is the balancing period in iterations.
+	BalanceEvery int `json:"-"`
+	// BalanceRounds bounds plan+migrate rounds per balancing invocation.
+	BalanceRounds int `json:"-"`
+}
+
+// Result is the flat, machine-readable outcome of one scenario run: the
+// normalized parameters the run actually used plus the measured metrics.
+// All times are deterministic virtual seconds, so identical (scenario,
+// params) runs produce identical Results.
+type Result struct {
+	// Scenario is the scenario name.
+	Scenario string `json:"scenario"`
+	// Params echoes the normalized parameters of the run.
+	Params Params `json:"params"`
+	// Elapsed is the end-to-end virtual execution time in seconds.
+	Elapsed float64 `json:"elapsed_s"`
+	// EdgeCut is the initial partition's edge-cut (0 for custom runners).
+	EdgeCut int `json:"edge_cut"`
+	// Imbalance is the initial partition's load imbalance (1.0 perfect).
+	Imbalance float64 `json:"imbalance"`
+	// Migrations counts executed task migrations.
+	Migrations int `json:"migrations"`
+	// MessagesSent totals messages sent across all processors.
+	MessagesSent int `json:"messages_sent"`
+	// BytesSent totals payload bytes sent across all processors.
+	BytesSent int `json:"bytes_sent"`
+	// Phases holds the per-phase maximum processor time (indexed by
+	// platform.Phase; nil for custom runners). Excluded from serialized
+	// reports, which carry Elapsed only.
+	Phases []float64 `json:"-"`
+}
+
+// Scenario bundles one named workload: the graph generator, the node data
+// and computation plug-ins, and default execution parameters. Examples,
+// benchmarks and the experiments sweep engine all resolve workloads from
+// registered Scenarios.
+type Scenario struct {
+	// Name is the unique registry key (lower-case, stable).
+	Name string
+	// Description is a one-line summary shown by `cmd/experiments -list`.
+	Description string
+	// Stresses names the platform feature the scenario exercises, for
+	// docs/scenarios.md.
+	Stresses string
+	// Graph generates the application program graph.
+	Graph func() (*graph.Graph, error)
+	// InitData returns a node's initial data.
+	InitData func(graph.NodeID) platform.NodeData
+	// Node builds the node computation function; the graph is passed so
+	// schedules can depend on its size or geometry.
+	Node func(g *graph.Graph) platform.NodeFunc
+	// Iterations is the default iteration count.
+	Iterations int
+	// SubPhases is the number of compute+communicate rounds per iteration
+	// (0 means 1; the battlefield uses 2).
+	SubPhases int
+	// Defaults overrides the package-wide parameter defaults (partitioner
+	// metis, basic exchange, pooled buffers, no balancer).
+	Defaults Params
+	// Runner, when non-nil, replaces the platform execution path entirely
+	// (the BSP scenarios use this). It receives normalized Params.
+	Runner func(sc Scenario, p Params) (*Result, error)
+}
+
+// normalize fills p's zero fields from the scenario's and the package's
+// defaults and validates the enumerated fields.
+func (sc Scenario) normalize(p Params) (Params, error) {
+	def := sc.Defaults
+	if p.Procs == 0 {
+		if p.Procs = def.Procs; p.Procs == 0 {
+			p.Procs = 8
+		}
+	}
+	if p.Procs < 1 {
+		return p, fmt.Errorf("scenario %s: procs must be >= 1, got %d", sc.Name, p.Procs)
+	}
+	if p.Partitioner == "" {
+		if p.Partitioner = def.Partitioner; p.Partitioner == "" {
+			p.Partitioner = "metis"
+		}
+	}
+	if p.Exchange == "" {
+		if p.Exchange = def.Exchange; p.Exchange == "" {
+			p.Exchange = ExchangeBasic
+		}
+	}
+	if p.Buffers == "" {
+		if p.Buffers = def.Buffers; p.Buffers == "" {
+			p.Buffers = BuffersPooled
+		}
+	}
+	if p.Balancer == "" {
+		if p.Balancer = def.Balancer; p.Balancer == "" {
+			p.Balancer = "none"
+		}
+	}
+	if p.Iterations == 0 {
+		if p.Iterations = def.Iterations; p.Iterations == 0 {
+			p.Iterations = sc.Iterations
+		}
+	}
+	if p.BalanceEvery == 0 {
+		p.BalanceEvery = def.BalanceEvery
+	}
+	if p.BalanceRounds == 0 {
+		p.BalanceRounds = def.BalanceRounds
+	}
+	if sc.Runner == nil {
+		if p.Exchange != ExchangeBasic && p.Exchange != ExchangeOverlap {
+			return p, fmt.Errorf("scenario %s: unknown exchange mode %q (want %s or %s)",
+				sc.Name, p.Exchange, ExchangeBasic, ExchangeOverlap)
+		}
+		if p.Buffers != BuffersPooled && p.Buffers != BuffersUnpooled {
+			return p, fmt.Errorf("scenario %s: unknown buffer mode %q (want %s or %s)",
+				sc.Name, p.Buffers, BuffersPooled, BuffersUnpooled)
+		}
+	}
+	return p, nil
+}
+
+// Config builds the platform configuration for one run of the scenario at
+// the given parameters: graph generated, partition computed, hypercube
+// network and Origin 2000 cost model attached. Callers that need final
+// node data (examples verifying against the sequential reference) flip
+// SkipFinalGather off before platform.Run. Scenarios with a custom Runner
+// have no platform configuration and return an error.
+func (sc Scenario) Config(p Params) (*platform.Config, error) {
+	if sc.Runner != nil {
+		return nil, fmt.Errorf("scenario %s: custom runner, no platform config", sc.Name)
+	}
+	p, err := sc.normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sc.Graph()
+	if err != nil {
+		return nil, err
+	}
+	part, err := Partition(p.Partitioner, g, p.Procs)
+	if err != nil {
+		return nil, err
+	}
+	bal, err := NewBalancer(p.Balancer)
+	if err != nil {
+		return nil, err
+	}
+	if p.Procs == 1 {
+		bal = nil // one processor has nothing to balance
+	}
+	net, err := topology.Hypercube(p.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return &platform.Config{
+		Graph:            g,
+		Procs:            p.Procs,
+		InitialPartition: part,
+		InitData:         sc.InitData,
+		Node:             sc.Node(g),
+		Iterations:       p.Iterations,
+		SubPhases:        sc.SubPhases,
+		Overlap:          p.Exchange == ExchangeOverlap,
+		ReuseBuffers:     p.Buffers == BuffersPooled,
+		Balancer:         bal,
+		BalanceEvery:     p.BalanceEvery,
+		BalanceRounds:    p.BalanceRounds,
+		Cost:             vtime.Origin2000(),
+		Overheads:        platform.DefaultOverheads(),
+		Network:          net,
+		SkipFinalGather:  true,
+	}, nil
+}
+
+// Run executes the scenario at the given parameters and reports the
+// machine-readable metrics.
+func (sc Scenario) Run(p Params) (*Result, error) {
+	p, err := sc.normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Runner != nil {
+		return sc.Runner(sc, p)
+	}
+	cfg, err := sc.Config(p)
+	if err != nil {
+		return nil, err
+	}
+	q, err := partition.Evaluate(cfg.Graph, cfg.InitialPartition, p.Procs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := platform.Run(*cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Scenario:   sc.Name,
+		Params:     p,
+		Elapsed:    res.Elapsed,
+		EdgeCut:    q.EdgeCut,
+		Imbalance:  q.Imbalance,
+		Migrations: res.Migrations,
+		Phases:     make([]float64, platform.NumPhases),
+	}
+	for ph := 0; ph < platform.NumPhases; ph++ {
+		out.Phases[ph] = res.MaxPhase(platform.Phase(ph))
+	}
+	for _, s := range res.Stats {
+		out.MessagesSent += s.MessagesSent
+		out.BytesSent += s.BytesSent
+	}
+	return out, nil
+}
+
+// Partitioners returns the accepted Params.Partitioner names.
+func Partitioners() []string {
+	return []string{"metis", "pagrid", "rowband", "colband", "rectband", "rcb", "bf"}
+}
+
+// Partition runs the named static partitioner on g for k processors.
+// PaGrid maps onto the Origin 2000's hypercube with the paper's
+// Rref = 0.45; the geometric partitioners require graph coordinates.
+func Partition(name string, g *graph.Graph, k int) ([]int, error) {
+	switch name {
+	case "metis":
+		return (&partition.Multilevel{Seed: 1}).Partition(g, nil, k)
+	case "pagrid":
+		net, err := topology.Hypercube(k)
+		if err != nil {
+			return nil, err
+		}
+		return (&partition.PaGrid{Rref: 0.45, Seed: 1}).Partition(g, net, k)
+	case "rowband":
+		return partition.RowBand{}.Partition(g, nil, k)
+	case "colband":
+		return partition.ColumnBand{}.Partition(g, nil, k)
+	case "rectband":
+		return partition.RectBand{}.Partition(g, nil, k)
+	case "rcb":
+		return partition.RCB{}.Partition(g, nil, k)
+	case "bf":
+		return partition.BFGrayCode{}.Partition(g, nil, k)
+	default:
+		return nil, fmt.Errorf("scenario: unknown partitioner %q (known: %v)", name, Partitioners())
+	}
+}
+
+// Balancers returns the accepted Params.Balancer names.
+func Balancers() []string {
+	return []string{"none", "centralized", "centralized-strict", "diffusion"}
+}
+
+// NewBalancer resolves a Params.Balancer name to a platform balancer; the
+// name "none" (and "") resolves to nil, disabling dynamic balancing.
+func NewBalancer(name string) (platform.Balancer, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "centralized":
+		return &balance.CentralizedHeuristic{}, nil
+	case "centralized-strict":
+		return &balance.CentralizedHeuristic{StrictAllNeighbors: true}, nil
+	case "diffusion":
+		return &balance.Diffusion{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown balancer %q (known: %v)", name, Balancers())
+	}
+}

@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ic2mpi/internal/graph"
+	"ic2mpi/internal/platform"
+)
+
+func TestRegistryInvariants(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d scenarios registered, want >= 8: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate scenario name %q", n)
+		}
+		seen[n] = true
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("Lookup(%q) failed for a listed scenario", n)
+		}
+	}
+	for _, sc := range List() {
+		if sc.Description == "" || sc.Stresses == "" {
+			t.Errorf("scenario %q missing Description/Stresses", sc.Name)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	sc, _ := Lookup("heat")
+	Register(sc)
+}
+
+func TestRegisterInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid Register did not panic")
+		}
+	}()
+	Register(Scenario{Name: "broken"})
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestExampleScenariosResolvable pins the examples tree to the registry:
+// every example directory must map to a registered scenario and vice
+// versa.
+func TestExampleScenariosResolvable(t *testing.T) {
+	for dir, name := range ExampleScenarios {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("example %q maps to unregistered scenario %q", dir, name)
+		}
+	}
+	entries, err := os.ReadDir("../../examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := ExampleScenarios[e.Name()]; !ok {
+			t.Errorf("example directory %q has no ExampleScenarios entry", e.Name())
+		}
+	}
+	for dir := range ExampleScenarios {
+		if _, err := os.Stat("../../examples/" + dir + "/main.go"); err != nil {
+			t.Errorf("ExampleScenarios entry %q has no example directory: %v", dir, err)
+		}
+	}
+}
+
+// TestEveryScenarioRuns executes every registered scenario at a small
+// configuration and checks the Result is populated and deterministic.
+func TestEveryScenarioRuns(t *testing.T) {
+	for _, sc := range List() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			p := Params{Procs: 2, Iterations: 3}
+			res, err := sc.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed <= 0 {
+				t.Errorf("Elapsed = %v, want > 0", res.Elapsed)
+			}
+			if res.Scenario != sc.Name {
+				t.Errorf("Result.Scenario = %q, want %q", res.Scenario, sc.Name)
+			}
+			if res.Params.Procs != 2 || res.Params.Iterations != 3 {
+				t.Errorf("params not echoed: %+v", res.Params)
+			}
+			again, err := sc.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Errorf("scenario not deterministic:\n%+v\n%+v", res, again)
+			}
+		})
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	sc, _ := Lookup("imbalance")
+	p, err := sc.normalize(Params{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Balancer != "centralized" || p.BalanceEvery != 3 || p.BalanceRounds != 4 {
+		t.Errorf("imbalance defaults not applied: %+v", p)
+	}
+	if p.Iterations != 25 || p.Partitioner != "metis" || p.Exchange != ExchangeBasic || p.Buffers != BuffersPooled {
+		t.Errorf("package defaults not applied: %+v", p)
+	}
+	// One processor has nothing to balance: the requested balancer stays
+	// in the echoed params (sweep groups must stay distinguishable), but
+	// the built config must not balance.
+	cfg, err := sc.Config(Params{Procs: 1, Balancer: "centralized"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Balancer != nil {
+		t.Error("procs=1 config got a balancer")
+	}
+}
+
+func TestNormalizeRejectsBadModes(t *testing.T) {
+	sc, _ := Lookup("hex64-fine")
+	if _, err := sc.Run(Params{Procs: 2, Exchange: "warp"}); err == nil {
+		t.Error("bad exchange mode accepted")
+	}
+	if _, err := sc.Run(Params{Procs: 2, Buffers: "leaky"}); err == nil {
+		t.Error("bad buffer mode accepted")
+	}
+	if _, err := sc.Run(Params{Procs: 2, Balancer: "psychic"}); err == nil {
+		t.Error("bad balancer accepted")
+	}
+	if _, err := sc.Run(Params{Procs: 2, Partitioner: "sharpie"}); err == nil {
+		t.Error("bad partitioner accepted")
+	}
+}
+
+func TestPartitionResolver(t *testing.T) {
+	g, err := graph.PaperHexGrid(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Partitioners() {
+		part, err := Partition(name, g, 4)
+		if err != nil {
+			t.Errorf("Partition(%q) failed: %v", name, err)
+			continue
+		}
+		if len(part) != g.NumVertices() {
+			t.Errorf("Partition(%q) returned %d entries", name, len(part))
+		}
+	}
+	if _, err := Partition("bogus", g, 4); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}
+
+func TestBalancerResolver(t *testing.T) {
+	for _, name := range Balancers() {
+		if _, err := NewBalancer(name); err != nil {
+			t.Errorf("NewBalancer(%q) failed: %v", name, err)
+		}
+	}
+	if b, err := NewBalancer("none"); err != nil || b != nil {
+		t.Errorf("NewBalancer(none) = %v, %v", b, err)
+	}
+	if _, err := NewBalancer("bogus"); err == nil {
+		t.Error("unknown balancer accepted")
+	}
+}
+
+// TestSSSPMatchesBFS verifies the sssp scenario's converged distances
+// against a breadth-first search from the source.
+func TestSSSPMatchesBFS(t *testing.T) {
+	sc, _ := Lookup("sssp")
+	cfg, err := sc.Config(Params{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SkipFinalGather = false
+	res, err := platform.Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bfsDistances(cfg.Graph, SSSPSource)
+	for v, d := range res.FinalData {
+		if got := int64(d.(platform.IntData)); got != int64(want[v]) {
+			t.Errorf("node %d: distance %d, want %d", v, got, want[v])
+		}
+	}
+}
+
+func bfsDistances(g *graph.Graph, src graph.NodeID) []int {
+	dist := make([]int, g.NumVertices())
+	for v := range dist {
+		dist[v] = int(Unreachable)
+	}
+	dist[src] = 0
+	queue := []graph.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Adj[v] {
+			if dist[u] > dist[v]+1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// TestLifeMatchesSequential verifies the distributed Game of Life against
+// the platform's sequential reference, and that the soup actually evolves.
+func TestLifeMatchesSequential(t *testing.T) {
+	sc, _ := Lookup("life")
+	cfg, err := sc.Config(Params{Procs: 4, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SkipFinalGather = false
+	res, err := platform.Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := platform.RunSequential(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := 0
+	for v := range want {
+		if res.FinalData[v] != want[v] {
+			t.Errorf("cell %d: distributed %v != sequential %v", v, res.FinalData[v], want[v])
+		}
+		if want[v].(platform.IntData) == Alive {
+			alive++
+		}
+	}
+	if alive == 0 {
+		t.Error("soup died out entirely after 10 generations; initial pattern too sparse")
+	}
+	initial := 0
+	for v := 0; v < LifeRows*LifeCols; v++ {
+		if LifeInit(graph.NodeID(v)).(platform.IntData) == Alive {
+			initial++
+		}
+	}
+	if alive == initial {
+		t.Logf("note: population unchanged at %d (possible but suspicious)", alive)
+	}
+}
+
+// TestPageRankBSPMatchesSequential verifies the BSP ranks against the
+// sequential reference at several process counts.
+func TestPageRankBSPMatchesSequential(t *testing.T) {
+	sc, _ := Lookup("pagerank-bsp")
+	g, err := sc.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PageRankSequential(g, 10)
+	for _, procs := range []int{1, 3, 8} {
+		ranks, elapsed, err := PageRankBSP(g, procs, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed <= 0 {
+			t.Errorf("procs=%d: elapsed %v", procs, elapsed)
+		}
+		for v := range want {
+			if diff := ranks[v] - want[v]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("procs=%d node %d: rank %v, want %v", procs, v, ranks[v], want[v])
+			}
+		}
+	}
+}
+
+// TestHeatConfigGathersBitIdentical pins the heat scenario to the
+// sequential reference, the property its example advertises.
+func TestHeatConfigBitIdentical(t *testing.T) {
+	sc, _ := Lookup("heat")
+	cfg, err := sc.Config(Params{Procs: 8, Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SkipFinalGather = false
+	res, err := platform.Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := platform.RunSequential(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.FinalData[v] != want[v] {
+			t.Fatalf("node %d: distributed %v != sequential %v", v, res.FinalData[v], want[v])
+		}
+	}
+}
+
+func TestConfigRejectsCustomRunner(t *testing.T) {
+	sc, _ := Lookup("pagerank-bsp")
+	if _, err := sc.Config(Params{Procs: 2}); err == nil {
+		t.Fatal("Config on a custom-runner scenario did not error")
+	}
+}
+
+func TestGridGeneratorDegrees(t *testing.T) {
+	g, err := graph.Grid(4, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 20 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Interior Moore cell has 8 neighbors, corner has 3.
+	if d := g.Degree(graph.NodeID(1*5 + 2)); d != 8 {
+		t.Errorf("interior degree = %d, want 8", d)
+	}
+	if d := g.Degree(graph.NodeID(0)); d != 3 {
+		t.Errorf("corner degree = %d, want 3", d)
+	}
+	vn, err := graph.Grid(4, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vn.Degree(graph.NodeID(1*5 + 2)); d != 4 {
+		t.Errorf("von Neumann interior degree = %d, want 4", d)
+	}
+	if err := vn.Validate(); err != nil {
+		t.Errorf("grid graph invalid: %v", err)
+	}
+}

@@ -1,8 +1,3 @@
-// Package workload supplies the synthetic node computations of the
-// thesis' generic experiments: the neighbor-averaging node function, grain
-// size injection (0.3 ms fine / 3 ms coarse dummy loops), and the Fig. 23
-// dynamic-imbalance schedule that sweeps a coarse-grain window across the
-// node ID space every ten iterations.
 package workload
 
 import (
