@@ -10,11 +10,18 @@
 //	experiments -scenario life       # sweep a scenario over 1..16 processors
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8;partitioner=metis,pagrid"
 //	experiments -scenario heat -format json > heat.json
+//	experiments -scenario heat -sweep "procs=4" -trace heat.jsonl
 //
 // The -sweep specification is semicolon-separated axis=value,value pairs
 // over the axes procs, partitioner, exchange (basic|overlap), buffers
 // (pooled|unpooled), balancer (none|centralized|centralized-strict|
 // diffusion) and iters; unspecified axes stay at the scenario's default.
+//
+// -trace records per-iteration telemetry (compute/communicate/idle time
+// per processor, message counters, migrations, load imbalance, live
+// edge-cut; see internal/trace) of one run to a file: JSONL, or CSV when
+// the path ends in .csv, or JSONL on stdout for "-". It requires
+// -scenario with at most one value per sweep axis.
 //
 // All results are deterministic virtual times: the same invocation
 // produces byte-identical output on any host, so JSON sweeps are directly
@@ -31,6 +38,7 @@ import (
 
 	"ic2mpi/internal/experiments"
 	"ic2mpi/internal/scenario"
+	"ic2mpi/internal/trace"
 )
 
 func main() {
@@ -42,6 +50,7 @@ func main() {
 	scen := flag.String("scenario", "", "registered scenario to sweep (see -list)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
 	format := flag.String("format", "text", "output format: text, json or csv")
+	tracePath := flag.String("trace", "", `write a per-iteration trace of one -scenario run: JSONL, CSV when the path ends in .csv, or "-" for JSONL on stdout`)
 	flag.Parse()
 
 	if *list {
@@ -70,11 +79,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *tracePath != "" {
+			rec := &trace.Recorder{}
+			rep, err := experiments.RunTraced(sc, ax, rec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := writeTrace(*tracePath, rec); err != nil {
+				log.Fatal(err)
+			}
+			if *tracePath == "-" {
+				return // stdout carries the trace; no report
+			}
+			reports = append(reports, rep)
+			break
+		}
 		rep, err := experiments.RunSweep(sc, ax)
 		if err != nil {
 			log.Fatal(err)
 		}
 		reports = append(reports, rep)
+	case *tracePath != "":
+		log.Fatal("-trace requires -scenario (see -list for scenario names)")
 	case *sweep != "":
 		log.Fatal("-sweep requires -scenario (see -list for scenario names)")
 	default:
@@ -104,4 +130,25 @@ func main() {
 	if err := experiments.WriteReport(os.Stdout, *format, reports...); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeTrace encodes rec to path: JSONL by default, CSV when the path
+// ends in .csv, stdout when path is "-".
+func writeTrace(path string, rec *trace.Recorder) error {
+	format := "jsonl"
+	if strings.HasSuffix(path, ".csv") {
+		format = "csv"
+	}
+	if path == "-" {
+		return trace.Write(os.Stdout, format, rec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, format, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -10,6 +10,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"ic2mpi/internal/experiments"
 )
 
 // mdLink matches inline links [text](target); images share the syntax.
@@ -58,6 +60,81 @@ func TestMarkdownLinks(t *testing.T) {
 			if fragment != "" && strings.HasSuffix(resolved, ".md") {
 				checkAnchor(t, file, resolved, fragment)
 			}
+		}
+	}
+}
+
+// docgenMarkerLine classifies a line against the docgen marker grammar,
+// built from the same constants cmd/docgen renders with so the two
+// definitions cannot drift apart. It returns kind "begin" or "end" plus
+// the section id, or "" when the line is not a well-formed marker.
+func docgenMarkerLine(line string) (kind, id string) {
+	t := strings.TrimSpace(line)
+	if !strings.HasSuffix(t, experiments.DocgenClose) {
+		return "", ""
+	}
+	switch {
+	case strings.HasPrefix(t, experiments.DocgenBegin):
+		kind, id = "begin", strings.TrimPrefix(t, experiments.DocgenBegin)
+	case strings.HasPrefix(t, experiments.DocgenEnd):
+		kind, id = "end", strings.TrimPrefix(t, experiments.DocgenEnd)
+	default:
+		return "", ""
+	}
+	id = strings.TrimSuffix(id, experiments.DocgenClose)
+	if id == "" || strings.ContainsAny(id, " \t") {
+		return "", ""
+	}
+	return kind, id
+}
+
+// TestDocgenMarkersBalanced validates the <!-- docgen --> marker pairs in
+// README.md and every docs/*.md file: every begin has a matching end with
+// the same section id, no nesting, no stray ends, no duplicate ids. The
+// content between the pairs is validated separately by
+// `go run ./cmd/docgen -check` in CI.
+func TestDocgenMarkersBalanced(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		open := ""
+		seen := map[string]bool{}
+		for n, line := range strings.Split(string(body), "\n") {
+			kind, id := docgenMarkerLine(line)
+			if kind == "" {
+				if strings.Contains(line, "docgen:begin") || strings.Contains(line, "docgen:end") {
+					// Prose may mention the markers; only flag lines that
+					// look like a malformed marker.
+					if strings.HasPrefix(strings.TrimSpace(line), "<!--") {
+						t.Errorf("%s:%d: malformed docgen marker: %s", file, n+1, line)
+					}
+				}
+				continue
+			}
+			switch kind {
+			case "begin":
+				if open != "" {
+					t.Errorf("%s:%d: begin %q nested inside open %q", file, n+1, id, open)
+					continue
+				}
+				if seen[id] {
+					t.Errorf("%s:%d: duplicate docgen section %q", file, n+1, id)
+				}
+				seen[id] = true
+				open = id
+			case "end":
+				if open == "" {
+					t.Errorf("%s:%d: end %q without a begin", file, n+1, id)
+				} else if open != id {
+					t.Errorf("%s:%d: end %q closes open begin %q", file, n+1, id, open)
+				}
+				open = ""
+			}
+		}
+		if open != "" {
+			t.Errorf("%s: begin %q never closed", file, open)
 		}
 	}
 }

@@ -39,7 +39,7 @@ func main() {
 	}
 	fmt.Printf("PageRank over %s on %d BSP processes, %d supersteps\n", g.Name, *procs, *iters)
 
-	ranks, elapsed, err := scenario.PageRankBSP(g, *procs, *iters)
+	ranks, elapsed, err := scenario.PageRankBSP(g, *procs, *iters, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -55,6 +55,7 @@ import (
 	"ic2mpi/internal/partition"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/topology"
+	"ic2mpi/internal/trace"
 	"ic2mpi/internal/vtime"
 )
 
@@ -96,6 +97,16 @@ type (
 	Network = topology.Network
 	// CostModel is the virtual-time communication cost model.
 	CostModel = vtime.CostModel
+	// TraceRecorder collects per-iteration run telemetry when attached via
+	// Config.Trace: per-processor compute/communicate/idle time, message
+	// counters, task migrations, load imbalance and live edge-cut.
+	TraceRecorder = trace.Recorder
+	// TraceSample is one (iteration, processor) telemetry record.
+	TraceSample = trace.Sample
+	// TraceMigration is one executed task migration event.
+	TraceMigration = trace.Migration
+	// TraceDerived is the per-iteration imbalance/edge-cut series entry.
+	TraceDerived = trace.Derived
 )
 
 // Platform phase identifiers (Figures 21-22 of the paper).
@@ -126,6 +137,12 @@ func Run(cfg Config) (*Result, error) { return platform.Run(cfg) }
 // address space — the reference implementation distributed runs are
 // verified against.
 func RunSequential(cfg Config) ([]NodeData, error) { return platform.RunSequential(cfg) }
+
+// WriteTrace encodes a trace recorded through Config.Trace as "jsonl" or
+// "csv"; the encoding is byte-identical for identical runs.
+func WriteTrace(w io.Writer, format string, rec *TraceRecorder) error {
+	return trace.Write(w, format, rec)
+}
 
 // DefaultOverheads returns the bookkeeping cost model calibrated against
 // the paper's overhead measurements (Figures 21-22).

@@ -1,10 +1,3 @@
-// Package balance implements dynamic load balancers pluggable into the
-// iC2mpi platform. The primary implementation is the thesis' centralized
-// heuristic (Section 4.3, GetLoadRebalancingParameters in Appendix C): a
-// designated processor examines the weighted processor network graph,
-// labels a processor "busy" when it has done at least Threshold more work
-// than every neighbor, pairs it with its least-loaded neighbor, and hands
-// the busy/idle pairs to the platform's task migration routine.
 package balance
 
 import (

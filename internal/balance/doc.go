@@ -1,0 +1,16 @@
+// Package balance implements dynamic load balancers pluggable into the
+// iC2mpi platform (the platform.Balancer plug-in point). The primary
+// implementation is the thesis' centralized heuristic (Section 4.3,
+// GetLoadRebalancingParameters in Appendix C): a designated processor
+// examines the weighted processor network graph, labels a processor
+// "busy" when it has done at least Threshold more work than every
+// neighbor, pairs it with its least-loaded neighbor, and hands the
+// busy/idle pairs to the platform's task migration routine. Diffusion is
+// the neighborhood-averaging alternative the paper's related work
+// surveys.
+//
+// A balancer only plans (busy, idle) pairs; the platform executes the
+// migrations — see the package map in docs/architecture.md for how the
+// pieces fit, and internal/trace for observing a balancer's effect on
+// per-iteration load imbalance.
+package balance

@@ -88,6 +88,10 @@ func (p *Proc) Step() int { return p.step }
 // Time returns the process's current (virtual) time in seconds.
 func (p *Proc) Time() float64 { return p.comm.Wtime() }
 
+// Stats returns a snapshot of the underlying rank's message counters
+// (messages, bytes, idle time), for per-superstep telemetry.
+func (p *Proc) Stats() mpi.Stats { return p.comm.Stats() }
+
 // Charge accounts d seconds of local computation to this process (the BSP
 // w term).
 func (p *Proc) Charge(d float64) { p.comm.Charge(d) }

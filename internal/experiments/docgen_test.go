@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func section(id, body string) DocSection {
+	return DocSection{ID: id, Generate: func() (string, error) { return body, nil }}
+}
+
+func TestRenderDocFileReplacesBody(t *testing.T) {
+	src := strings.Join([]string{
+		"# Title",
+		"",
+		"<!-- docgen:begin a -->",
+		"stale line 1",
+		"stale line 2",
+		"<!-- docgen:end a -->",
+		"",
+		"tail prose",
+	}, "\n")
+	got, err := RenderDocFile(src, []DocSection{section("a", "fresh 1\nfresh 2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# Title",
+		"",
+		"<!-- docgen:begin a -->",
+		"fresh 1",
+		"fresh 2",
+		"<!-- docgen:end a -->",
+		"",
+		"tail prose",
+	}, "\n")
+	if got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+	// Idempotent: rendering the output again is a no-op.
+	again, err := RenderDocFile(got, []DocSection{section("a", "fresh 1\nfresh 2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Error("second render changed the output")
+	}
+}
+
+func TestRenderDocFileErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		sections []DocSection
+	}{
+		{"unknown marker", "<!-- docgen:begin x -->\n<!-- docgen:end x -->", nil},
+		{"section without marker", "prose only", []DocSection{section("a", "b")}},
+		{"unclosed begin", "<!-- docgen:begin a -->\nbody", []DocSection{section("a", "b")}},
+		{"stray end", "<!-- docgen:end a -->", []DocSection{section("a", "b")}},
+		{"mismatched end", "<!-- docgen:begin a -->\n<!-- docgen:end b -->",
+			[]DocSection{section("a", "x"), section("b", "y")}},
+		{"nested begin", "<!-- docgen:begin a -->\n<!-- docgen:begin b -->\n<!-- docgen:end a -->",
+			[]DocSection{section("a", "x"), section("b", "y")}},
+		{"duplicate marker", "<!-- docgen:begin a -->\n<!-- docgen:end a -->\n<!-- docgen:begin a -->\n<!-- docgen:end a -->",
+			[]DocSection{section("a", "x")}},
+	}
+	for _, tc := range cases {
+		if _, err := RenderDocFile(tc.src, tc.sections); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestDocSectionsRender runs every registered generator once: each must
+// produce a non-empty body, and scenario tables must carry one row per
+// swept processor count.
+func TestDocSectionsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every pinned docgen sweep")
+	}
+	for file, sections := range DocFiles() {
+		for _, s := range sections {
+			body, err := s.Generate()
+			if err != nil {
+				t.Errorf("%s %s: %v", file, s.ID, err)
+				continue
+			}
+			if strings.TrimSpace(body) == "" {
+				t.Errorf("%s %s: empty body", file, s.ID)
+			}
+			if strings.HasPrefix(s.ID, "table-") {
+				rows := strings.Count(body, "\n| ")
+				if rows != len(Procs) {
+					t.Errorf("%s %s: %d data rows, want %d", file, s.ID, rows, len(Procs))
+				}
+			}
+		}
+	}
+}

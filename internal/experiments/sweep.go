@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ic2mpi/internal/scenario"
+	"ic2mpi/internal/trace"
 )
 
 // The generic sweep engine: a cartesian sweep of one scenario over the
@@ -163,6 +164,59 @@ type SweepReport struct {
 	Rows []SweepRow `json:"rows"`
 	// Notes carries caveats for the reader.
 	Notes string `json:"notes,omitempty"`
+}
+
+// Single converts a sweep specification in which every axis has at most
+// one value into the parameters of that single run (unset axes stay at
+// the scenario's default). It errors when any axis holds multiple values.
+func (ax Axes) Single() (scenario.Params, error) {
+	var p scenario.Params
+	if len(ax.Procs) > 1 || len(ax.Partitioners) > 1 || len(ax.Exchanges) > 1 ||
+		len(ax.Buffers) > 1 || len(ax.Balancers) > 1 || len(ax.Iterations) > 1 {
+		return p, fmt.Errorf("experiments: expected a single parameter combination, got a %d-run sweep", ax.Size())
+	}
+	if len(ax.Procs) == 1 {
+		p.Procs = ax.Procs[0]
+	}
+	if len(ax.Partitioners) == 1 {
+		p.Partitioner = ax.Partitioners[0]
+	}
+	if len(ax.Exchanges) == 1 {
+		p.Exchange = ax.Exchanges[0]
+	}
+	if len(ax.Buffers) == 1 {
+		p.Buffers = ax.Buffers[0]
+	}
+	if len(ax.Balancers) == 1 {
+		p.Balancer = ax.Balancers[0]
+	}
+	if len(ax.Iterations) == 1 {
+		p.Iterations = ax.Iterations[0]
+	}
+	return p, nil
+}
+
+// RunTraced executes the single parameter combination described by ax
+// (every axis at most one value; unset axes at the scenario's default)
+// with rec attached as the run's trace recorder, and returns a one-row
+// sweep report of the run's aggregate metrics. The per-iteration series
+// lives in rec afterwards.
+func RunTraced(sc scenario.Scenario, ax Axes, rec *trace.Recorder) (*SweepReport, error) {
+	p, err := ax.Single()
+	if err != nil {
+		return nil, err
+	}
+	p.Trace = rec
+	res, err := sc.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepReport{
+		ID:       "sweep-" + sc.Name,
+		Title:    fmt.Sprintf("Sweep of scenario %s: %s", sc.Name, sc.Description),
+		Scenario: sc.Name,
+		Rows:     []SweepRow{{Result: *res}},
+	}, nil
 }
 
 // RunSweep executes the cartesian sweep of sc over ax.

@@ -1,0 +1,12 @@
+// Package graph provides the application program graph representation used
+// throughout the iC2mpi platform: an undirected graph with optional vertex
+// and edge weights and optional planar coordinates (used by the band
+// partitioners and the battlefield hex terrain).
+//
+// The package also implements the Chaco/Metis file format the thesis feeds
+// to its partitioners (fmt codes 0, 1, 10 and 11) and generators for every
+// topology in the evaluation: hexagonal grids, connected random graphs,
+// rectangular hex meshes and Moore-neighborhood grids. Every generator is
+// deterministic for a given seed — a precondition for the reproducible
+// tables and traces described in docs/architecture.md.
+package graph

@@ -1,12 +1,3 @@
-// Package graph provides the application program graph representation used
-// throughout the iC2mpi platform: an undirected graph with optional vertex
-// and edge weights and optional planar coordinates (used by the band
-// partitioners and the battlefield hex terrain).
-//
-// The package also implements the Chaco/Metis file format the thesis feeds
-// to its partitioners (fmt codes 0, 1, 10 and 11) and generators for every
-// topology in the evaluation: hexagonal grids, connected random graphs and
-// rectangular hex meshes.
 package graph
 
 import (

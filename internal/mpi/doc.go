@@ -1,0 +1,30 @@
+// Package mpi is an in-process SPMD message-passing runtime that stands in
+// for MPI in this reproduction of the iC2mpi platform.
+//
+// The original system ran as MPI processes on an SGI Origin 2000. Pure-Go,
+// stdlib-only code has no viable MPI bindings, so this package executes the
+// same single-program-multiple-data structure with one goroutine per rank
+// and channels/condition variables as the interconnect. Point-to-point
+// operations (Send, Isend, Recv, Irecv, Wait), collectives (Barrier, Bcast,
+// Gather, Allgather, Reduce, Allreduce) and Wtime mirror the MPI calls the
+// thesis' appendices use.
+//
+// The runtime supports two clock modes:
+//
+//   - Virtual (default): every rank owns a vtime.Clock. Computation charged
+//     with Comm.Charge and message transfer costed by a vtime.CostModel
+//     advance the clocks; matching receives synchronize receiver time with
+//     message arrival time; collectives synchronize all participants. The
+//     resulting timeline is deterministic and independent of the host's
+//     goroutine scheduling, which is what lets a 1-CPU machine reproduce
+//     16-processor speedup curves. Stats additionally reports per-rank
+//     message counters and IdleSeconds, the accumulated clock fast-forward
+//     spent waiting — the raw material of the trace subsystem's idle-time
+//     series.
+//   - Real: Wtime reads the wall clock and Charge spins. Used by tests that
+//     exercise the runtime as an actual concurrency substrate.
+//
+// See the "virtual-clock determinism contract" section of
+// docs/architecture.md for the invariants this runtime guarantees and what
+// additions to it must preserve.
+package mpi

@@ -1,25 +1,3 @@
-// Package mpi is an in-process SPMD message-passing runtime that stands in
-// for MPI in this reproduction of the iC2mpi platform.
-//
-// The original system ran as MPI processes on an SGI Origin 2000. Pure-Go,
-// stdlib-only code has no viable MPI bindings, so this package executes the
-// same single-program-multiple-data structure with one goroutine per rank
-// and channels/condition variables as the interconnect. Point-to-point
-// operations (Send, Isend, Recv, Irecv, Wait), collectives (Barrier, Bcast,
-// Gather, Allgather, Reduce, Allreduce) and Wtime mirror the MPI calls the
-// thesis' appendices use.
-//
-// The runtime supports two clock modes:
-//
-//   - Virtual (default): every rank owns a vtime.Clock. Computation charged
-//     with Comm.Charge and message transfer costed by a vtime.CostModel
-//     advance the clocks; matching receives synchronize receiver time with
-//     message arrival time; collectives synchronize all participants. The
-//     resulting timeline is deterministic and independent of the host's
-//     goroutine scheduling, which is what lets a 1-CPU machine reproduce
-//     16-processor speedup curves.
-//   - Real: Wtime reads the wall clock and Charge spins. Used by tests that
-//     exercise the runtime as an actual concurrency substrate.
 package mpi
 
 import (
@@ -133,7 +111,7 @@ type barrier struct {
 	arrived int
 	gen     uint64
 	maxTime float64
-	// outTime[gen%2] holds the released max for the finishing generation.
+	// outTime holds the released max for the finishing generation.
 	outTime float64
 }
 
@@ -181,10 +159,13 @@ type Comm struct {
 	world *World
 	rank  int
 	clock vtime.Clock
-	// sendSeq/recvSeq count operations, exposed in Stats for tests.
+	// sent/received count operations, exposed in Stats for tests.
 	sent, received int
 	bytesSent      int
 	bytesReceived  int
+	// idleSeconds accumulates virtual time this rank's clock was
+	// fast-forwarded waiting on a message arrival or a barrier release.
+	idleSeconds float64
 }
 
 // Stats reports per-rank message counters, used by tests and by the
@@ -194,6 +175,11 @@ type Stats struct {
 	MessagesReceived int
 	BytesSent        int
 	BytesReceived    int
+	// IdleSeconds is the total virtual time the rank spent waiting: the
+	// clock fast-forward applied when a receive completed after the rank's
+	// own time, or when a barrier released at a later sibling's time.
+	// Always 0 in RealClock mode.
+	IdleSeconds float64
 }
 
 // Stats returns a snapshot of this rank's communication counters.
@@ -203,6 +189,7 @@ func (c *Comm) Stats() Stats {
 		MessagesReceived: c.received,
 		BytesSent:        c.bytesSent,
 		BytesReceived:    c.bytesReceived,
+		IdleSeconds:      c.idleSeconds,
 	}
 }
 
@@ -391,7 +378,11 @@ func (c *Comm) completeRecv(m message) {
 			}
 		}
 		// sentAt already includes the sender's SendOverhead charge.
-		c.clock.AdvanceTo(m.sentAt + wire)
+		arrival := m.sentAt + wire
+		if now := c.clock.Now(); arrival > now {
+			c.idleSeconds += arrival - now
+		}
+		c.clock.AdvanceTo(arrival)
 		c.clock.Advance(c.world.cost.RecvOverhead)
 	}
 	c.received++
@@ -459,6 +450,9 @@ func (c *Comm) Barrier() error {
 		return fmt.Errorf("mpi: rank %d Barrier aborted: sibling rank failed", c.rank)
 	}
 	if c.world.mode == VirtualClock {
+		if now := c.clock.Now(); t > now {
+			c.idleSeconds += t - now
+		}
 		c.clock.AdvanceTo(t)
 	}
 	return nil

@@ -1,0 +1,15 @@
+// Package partition implements the static graph partitioners the thesis
+// evaluates (Section 2.3, Tables 7-11): a multilevel k-way partitioner in
+// the style of Metis [KK98], a PaGrid-style network-aware mapper [WA04]
+// that weighs the processor network's link costs and speeds, the
+// geometric row/column/rectangular band schemes, recursive coordinate
+// bisection, and the gray-code mesh-to-hypercube "BF" embedding [DMP98].
+//
+// All partitioners implement the same interface — Partition(graph,
+// network, k) returning a node-to-processor map — and all are
+// deterministic for a given seed, so partitions (and therefore speedup
+// tables, sweep JSON and docgen'd docs) reproduce byte-for-byte across
+// runs. Evaluate scores a partition's edge-cut and load imbalance, the
+// two quality metrics the paper reports. See the package map in
+// docs/architecture.md.
+package partition

@@ -438,10 +438,14 @@ func refineFM(g *wgraph, part []int, k int, maxImb float64, passes int, rng *ran
 			if conn == nil {
 				continue // not a boundary vertex
 			}
+			// Tie-break equal gains on the smallest part id: preferring
+			// whichever part Go's randomized map order yields first would
+			// make the partition differ across runs.
 			bestTo, bestGain := -1, 0
 			for to, ext := range conn {
 				gain := ext - internal
-				if gain <= bestGain {
+				if gain < bestGain || gain == 0 ||
+					(gain == bestGain && bestTo != -1 && to > bestTo) {
 					continue
 				}
 				if weights[to]+g.vw[v] > maxW {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/trace"
 )
 
 // Load balancing & task migration phase (Section 4.3 and Appendix C).
@@ -25,15 +26,15 @@ const (
 	tagMigrate = 500
 )
 
-// loadBalance runs one balancing invocation and returns the number of
-// executed migrations. With Config.BalanceRounds = 1 this is the thesis'
-// protocol: one task per busy/idle pair. Larger values implement the
-// Section 7 extension ("a more rigorous algorithm ... would specify the
-// number of tasks that should be migrated"): after each migration round
-// rank 0 re-estimates per-processor times (average node cost heuristic)
-// and re-plans, so a heavily overloaded processor can shed several tasks
-// in one invocation.
-func (s *rankState) loadBalance() (int, error) {
+// loadBalance runs one balancing invocation (at the end of iteration
+// iter) and returns the number of executed migrations. With
+// Config.BalanceRounds = 1 this is the thesis' protocol: one task per
+// busy/idle pair. Larger values implement the Section 7 extension ("a
+// more rigorous algorithm ... would specify the number of tasks that
+// should be migrated"): after each migration round rank 0 re-estimates
+// per-processor times (average node cost heuristic) and re-plans, so a
+// heavily overloaded processor can shed several tasks in one invocation.
+func (s *rankState) loadBalance(iter int) (int, error) {
 	t0 := s.comm.Wtime()
 	defer func() {
 		s.phase[PhaseLoadBalance] += s.comm.Wtime() - t0
@@ -49,7 +50,7 @@ func (s *rankState) loadBalance() (int, error) {
 	}
 	total := 0
 	for round := 0; round < rounds; round++ {
-		n, err := s.balanceRound(&times)
+		n, err := s.balanceRound(iter, &times)
 		if err != nil {
 			return total, err
 		}
@@ -65,7 +66,7 @@ func (s *rankState) loadBalance() (int, error) {
 // balanceRound runs one plan+migrate round. times is rank 0's (estimated)
 // per-processor time vector; it is updated in place after migrations so a
 // following round plans against the post-migration estimate.
-func (s *rankState) balanceRound(times *[]float64) (int, error) {
+func (s *rankState) balanceRound(iter int, times *[]float64) (int, error) {
 	// One gather carries both the communication-buffer-size vector (the
 	// processor graph's edge weights) and the owned-node count used by the
 	// estimated-time update.
@@ -205,6 +206,11 @@ func (s *rankState) balanceRound(times *[]float64) (int, error) {
 		for _, m := range round {
 			if err := s.executeMigration(m); err != nil {
 				return executed, err
+			}
+			if s.cfg.Trace != nil && s.me == 0 {
+				s.cfg.Trace.RecordMigration(trace.Migration{
+					Iter: iter, Node: int(m.node), From: m.from, To: m.to, BenefitS: m.cost,
+				})
 			}
 		}
 		// Commit ownership changes and rebuild bookkeeping everywhere.

@@ -6,6 +6,7 @@ import (
 
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
+	"ic2mpi/internal/trace"
 )
 
 // Run executes the platform's full flow of control (Fig. 6): graph
@@ -25,6 +26,9 @@ func Run(cfg Config) (*Result, error) {
 	for ph := range res.PhaseTimes {
 		res.PhaseTimes[ph] = make([]float64, c.Procs)
 	}
+	if c.Trace != nil {
+		c.Trace.Start(c.Procs, c.Iterations)
+	}
 	var mu sync.Mutex
 	elapsed := make([]float64, c.Procs)
 
@@ -43,6 +47,14 @@ func Run(cfg Config) (*Result, error) {
 			return err
 		}
 		migrated := 0
+		// Trace bookkeeping: phase and message-counter snapshots at the
+		// previous iteration boundary, so each sample carries deltas.
+		var prevPhase [NumPhases]float64
+		var prevStats mpi.Stats
+		if c.Trace != nil {
+			prevPhase = st.phase
+			prevStats = comm.Stats()
+		}
 		for iter := 1; iter <= c.Iterations; iter++ {
 			computeBefore := st.phase[PhaseCompute]
 			for sub := 0; sub < c.SubPhases; sub++ {
@@ -52,7 +64,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			st.workTime = st.phase[PhaseCompute] - computeBefore
 			if c.Balancer != nil && iter%c.BalanceEvery == 0 && iter < c.Iterations {
-				n, err := st.loadBalance()
+				n, err := st.loadBalance(iter)
 				if err != nil {
 					return err
 				}
@@ -61,6 +73,29 @@ func Run(cfg Config) (*Result, error) {
 			if c.CheckInvariants {
 				if err := st.checkInvariants(); err != nil {
 					return err
+				}
+			}
+			if c.Trace != nil {
+				stats := comm.Stats()
+				c.Trace.RecordSample(trace.Sample{
+					Iter:      iter,
+					Proc:      st.me,
+					ComputeS:  st.phase[PhaseCompute] - prevPhase[PhaseCompute],
+					OverheadS: (st.phase[PhaseComputeOverhead] - prevPhase[PhaseComputeOverhead]) + (st.phase[PhaseCommOverhead] - prevPhase[PhaseCommOverhead]),
+					CommS:     st.phase[PhaseCommunicate] - prevPhase[PhaseCommunicate],
+					IdleS:     stats.IdleSeconds - prevStats.IdleSeconds,
+					BalanceS:  st.phase[PhaseLoadBalance] - prevPhase[PhaseLoadBalance],
+					MsgsSent:  stats.MessagesSent - prevStats.MessagesSent,
+					MsgsRecv:  stats.MessagesReceived - prevStats.MessagesReceived,
+					BytesSent: stats.BytesSent - prevStats.BytesSent,
+					BytesRecv: stats.BytesReceived - prevStats.BytesReceived,
+				})
+				prevPhase = st.phase
+				prevStats = stats
+				if st.me == 0 {
+					// The owner map is rank-local state, synchronized by the
+					// migration barriers, so rank 0's copy is current here.
+					c.Trace.RecordEdgeCut(iter, partitionCut(c.Graph, st.owner))
 				}
 			}
 		}
@@ -93,12 +128,24 @@ func Run(cfg Config) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	if c.Trace != nil {
+		c.Trace.Finish()
+	}
 	for _, t := range elapsed {
 		if t > res.Elapsed {
 			res.Elapsed = t
 		}
 	}
 	return res, nil
+}
+
+// partitionCut is the live edge-cut the trace subsystem samples at the
+// end of every iteration: the canonical weighted cut every other report
+// in the system uses. owner always has one entry per vertex here, so the
+// length error is impossible.
+func partitionCut(g *graph.Graph, owner []int) int {
+	cut, _ := g.EdgeCut(owner)
+	return cut
 }
 
 // RunSequential executes the same iterative computation without the

@@ -244,7 +244,8 @@ func (s *rankState) ownsNode(id graph.NodeID) bool { return s.owner[id] == s.me 
 func (s *rankState) numOwned() int { return len(s.internal) + len(s.peripheral) }
 
 // checkInvariants validates the state's internal consistency; runs with
-// Config.CheckInvariants call it after every iteration.
+// Config.CheckInvariants set call it after every iteration and after
+// every migration round.
 func (s *rankState) checkInvariants() error {
 	for _, node := range s.internal {
 		if node.peripheral {

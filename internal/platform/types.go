@@ -1,24 +1,3 @@
-// Package platform implements the iC2mpi platform core: the three-phase
-// architecture of Section 3/4 of the thesis.
-//
-//   - Initialization: a static partitioner's node-to-processor mapping is
-//     expanded into per-processor internal and peripheral node lists, a
-//     data store holding own and shadow node data, and a hash table index
-//     (Fig. 7).
-//   - Computation & communication: per iteration, the user's node function
-//     is invoked over internal then peripheral nodes with a list of the
-//     node's data followed by its neighbors' data; updated peripheral data
-//     is packed into per-neighbor communication buffers and exchanged with
-//     nonblocking sends (Fig. 8), optionally overlapping internal-node
-//     computation with communication (Fig. 8a).
-//   - Load balancing & task migration: a pluggable balancer periodically
-//     inspects a weighted processor graph and produces busy/idle pairs;
-//     the platform migrates one task per pair, updating node lists, hash
-//     tables and shadow bookkeeping incrementally (Section 4.3).
-//
-// The user plugs in exactly what the thesis describes: the application
-// program graph, the node data structure, and the node computation
-// function.
 package platform
 
 import (
@@ -27,6 +6,7 @@ import (
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
 	"ic2mpi/internal/topology"
+	"ic2mpi/internal/trace"
 	"ic2mpi/internal/vtime"
 )
 
@@ -248,14 +228,22 @@ type Config struct {
 	Overheads OverheadModel
 	// Mode selects virtual (default) or real clocks.
 	Mode mpi.ClockMode
-	// CollectData controls whether Run gathers final node data to the
-	// caller (default true; large sweeps disable it to save memory).
+	// SkipFinalGather disables gathering final node data into
+	// Result.FinalData (large sweeps skip the gather to save memory;
+	// callers verifying results against the sequential reference keep it).
 	SkipFinalGather bool
 	// CheckInvariants makes every processor validate its node lists, hash
 	// table and shadow bookkeeping after every iteration and after every
-	// migration. Meant for tests; adds O(nodes) work per iteration but no
-	// virtual time.
+	// migration. Meant for tests; adds O(nodes) host work per iteration
+	// but no virtual time.
 	CheckInvariants bool
+	// Trace, when non-nil, records per-iteration telemetry — per-processor
+	// compute/communicate/idle virtual time, message counters, migration
+	// events and the live edge-cut — into the given recorder. Tracing is
+	// host-side only: it never charges virtual time, so traced and
+	// untraced runs have identical timelines. A nil Trace costs one branch
+	// per iteration.
+	Trace *trace.Recorder
 }
 
 // normalize fills defaults and validates the configuration.

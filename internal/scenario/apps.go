@@ -4,6 +4,7 @@ import (
 	"ic2mpi/internal/bsp"
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/platform"
+	"ic2mpi/internal/trace"
 	"ic2mpi/internal/workload"
 )
 
@@ -137,23 +138,42 @@ const PageRankDamping = 0.85
 // PageRankBSP runs iters PageRank supersteps over g on procs BSP
 // processes (block vertex distribution, one Put per edge per superstep)
 // and returns the final ranks plus the maximum virtual completion time
-// across processes. Deterministic for a fixed (g, procs, iters).
-func PageRankBSP(g *graph.Graph, procs, iters int) ([]float64, float64, error) {
+// across processes. Deterministic for a fixed (g, procs, iters). A
+// non-nil rec records one trace sample per (superstep, process): the
+// scatter loop as compute, Sync as communicate.
+func PageRankBSP(g *graph.Graph, procs, iters int, rec *trace.Recorder) ([]float64, float64, error) {
 	n := g.NumVertices()
 	ranks := make([]float64, n)
 	times := make([]float64, procs)
-	err := bsp.Run(bsp.Options{Procs: procs}, func(p *bsp.Proc) error {
+	// Inverse of the block bounds lo/hi below, exact even when procs does
+	// not divide n: the owner of v is the largest p with p*n/procs <= v.
+	ownerOf := func(v int) int { return ((v+1)*procs - 1) / n }
+	if rec != nil {
+		rec.Start(procs, iters)
+		// The block distribution never changes, so the live edge-cut is
+		// the same every superstep.
+		owner := make([]int, n)
+		for v := range owner {
+			owner[v] = ownerOf(v)
+		}
+		cut, err := g.EdgeCut(owner)
+		if err != nil {
+			return nil, 0, err
+		}
+		for it := 1; it <= iters; it++ {
+			rec.RecordEdgeCut(it, cut)
+		}
+	}
+	runErr := bsp.Run(bsp.Options{Procs: procs}, func(p *bsp.Proc) error {
 		lo := p.Pid() * n / p.NProcs()
 		hi := (p.Pid() + 1) * n / p.NProcs()
-		// Inverse of the block bounds above, exact even when procs does
-		// not divide n: the owner of v is the largest p with p*n/procs <= v.
-		ownerOf := func(v int) int { return ((v+1)*p.NProcs() - 1) / n }
 
 		local := make([]float64, hi-lo)
 		for i := range local {
 			local[i] = 1.0 / float64(n)
 		}
 		for iter := 0; iter < iters; iter++ {
+			t0, stats0 := p.Time(), p.Stats()
 			// Scatter contributions along edges.
 			for v := lo; v < hi; v++ {
 				deg := len(g.Adj[v])
@@ -168,9 +188,24 @@ func PageRankBSP(g *graph.Graph, procs, iters int) ([]float64, float64, error) {
 				}
 				p.Charge(float64(deg) * 50e-9)
 			}
+			tc := p.Time()
 			in, err := p.Sync()
 			if err != nil {
 				return err
+			}
+			if rec != nil {
+				t1, stats1 := p.Time(), p.Stats()
+				rec.RecordSample(trace.Sample{
+					Iter:      iter + 1,
+					Proc:      p.Pid(),
+					ComputeS:  tc - t0,
+					CommS:     t1 - tc,
+					IdleS:     stats1.IdleSeconds - stats0.IdleSeconds,
+					MsgsSent:  stats1.MessagesSent - stats0.MessagesSent,
+					MsgsRecv:  stats1.MessagesReceived - stats0.MessagesReceived,
+					BytesSent: stats1.BytesSent - stats0.BytesSent,
+					BytesRecv: stats1.BytesReceived - stats0.BytesReceived,
+				})
 			}
 			for i := range local {
 				local[i] = (1 - PageRankDamping) / float64(n)
@@ -197,8 +232,11 @@ func PageRankBSP(g *graph.Graph, procs, iters int) ([]float64, float64, error) {
 		times[p.Pid()] = p.Time()
 		return nil
 	})
-	if err != nil {
-		return nil, 0, err
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	if rec != nil {
+		rec.Finish()
 	}
 	elapsed := 0.0
 	for _, t := range times {
@@ -285,7 +323,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			_, elapsed, err := PageRankBSP(g, p.Procs, p.Iterations)
+			_, elapsed, err := PageRankBSP(g, p.Procs, p.Iterations, p.Trace)
 			if err != nil {
 				return nil, err
 			}

@@ -8,6 +8,7 @@ import (
 	"ic2mpi/internal/partition"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/topology"
+	"ic2mpi/internal/trace"
 	"ic2mpi/internal/vtime"
 )
 
@@ -52,6 +53,11 @@ type Params struct {
 	BalanceEvery int `json:"-"`
 	// BalanceRounds bounds plan+migrate rounds per balancing invocation.
 	BalanceRounds int `json:"-"`
+	// Trace, when non-nil, records per-iteration telemetry for the run
+	// (see internal/trace). Tracing is host-side only — a traced run's
+	// Result is identical to an untraced one — and the field is excluded
+	// from serialized reports.
+	Trace *trace.Recorder `json:"-"`
 }
 
 // Result is the flat, machine-readable outcome of one scenario run: the
@@ -219,6 +225,7 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 		Overheads:        platform.DefaultOverheads(),
 		Network:          net,
 		SkipFinalGather:  true,
+		Trace:            p.Trace,
 	}, nil
 }
 

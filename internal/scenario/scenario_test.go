@@ -284,7 +284,7 @@ func TestPageRankBSPMatchesSequential(t *testing.T) {
 	}
 	want := PageRankSequential(g, 10)
 	for _, procs := range []int{1, 3, 8} {
-		ranks, elapsed, err := PageRankBSP(g, procs, 10)
+		ranks, elapsed, err := PageRankBSP(g, procs, 10, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

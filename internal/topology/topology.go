@@ -1,8 +1,3 @@
-// Package topology models processor network graphs: the hypercube of the
-// paper's SGI Origin 2000, regular meshes, and heterogeneous grids. PaGrid
-// consumes these networks (with per-processor speeds and per-link costs)
-// when mapping application graphs; the BF partitioner uses the gray-code
-// mesh-to-hypercube embedding of [DMP98].
 package topology
 
 import (

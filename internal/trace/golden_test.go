@@ -1,0 +1,67 @@
+package trace_test
+
+// Golden trace determinism, mirroring TestExchangeDeterminism one level
+// up the stack: the JSONL encoding of a traced run is a pure function of
+// the configuration. The same scenario traced twice — and traced with the
+// pooled exchange fast path on or off — must produce byte-identical
+// output, pinned against a checked-in golden file.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ic2mpi/internal/scenario"
+	"ic2mpi/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// heatTrace runs the heat scenario (4 procs, 12 iterations) with the
+// given buffer mode and returns its JSONL trace.
+func heatTrace(t *testing.T, buffers string) []byte {
+	t.Helper()
+	sc, err := scenario.Get("heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenHeatTrace(t *testing.T) {
+	golden := filepath.Join("testdata", "heat-4proc-12iter.jsonl")
+	got := heatTrace(t, scenario.BuffersPooled)
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace diverged from %s (%d vs %d bytes); regenerate with -update if the change is intended",
+			golden, len(got), len(want))
+	}
+
+	// Byte-identical across repeated runs.
+	if again := heatTrace(t, scenario.BuffersPooled); !bytes.Equal(got, again) {
+		t.Error("trace differs between two identical runs")
+	}
+	// Byte-identical with the buffer pool off: tracing observes the
+	// virtual timeline, which pooling must not touch.
+	if unpooled := heatTrace(t, scenario.BuffersUnpooled); !bytes.Equal(got, unpooled) {
+		t.Error("trace differs between pooled and unpooled runs")
+	}
+}

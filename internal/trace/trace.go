@@ -1,0 +1,176 @@
+// Package trace records per-iteration execution telemetry from a platform
+// run: what the paper's time-series figures plot, rather than the
+// end-of-run aggregates of platform.Result.
+//
+// A Recorder is attached to a run through platform.Config.Trace (or
+// scenario.Params.Trace). Per iteration and per processor it captures the
+// compute, overhead, communicate and idle virtual time, message and byte
+// counters, every executed task migration (source, destination, estimated
+// benefit), and a derived per-iteration series: the load imbalance ratio
+// and the live edge-cut of the evolving partition.
+//
+// Because the platform runs on deterministic virtual clocks, a trace is a
+// pure function of the configuration: the same run always produces a
+// byte-identical encoding (WriteJSONL, WriteCSV), which golden-file tests
+// pin. The recorder is allocation-conscious — Start preallocates every
+// per-iteration slot, and the per-rank record path writes into disjoint
+// preallocated slots without locks — so tracing never perturbs the
+// simulated timeline and adds little host-side cost.
+//
+// See the "Telemetry & docgen" section of docs/architecture.md for where
+// in the run loop each event is emitted.
+package trace
+
+import "fmt"
+
+// Sample is one (iteration, processor) telemetry record. All times are
+// virtual seconds accumulated during that iteration (summed over
+// sub-phases).
+type Sample struct {
+	// Iter is the 1-based iteration.
+	Iter int `json:"iter"`
+	// Proc is the processor rank.
+	Proc int `json:"proc"`
+	// ComputeS is node-computation time (the grain).
+	ComputeS float64 `json:"compute_s"`
+	// OverheadS is platform bookkeeping time: list forming, data-list
+	// updates, buffer packing and unpacking.
+	OverheadS float64 `json:"overhead_s"`
+	// CommS is shadow-exchange time (send dispatch plus receive completion,
+	// including any wait).
+	CommS float64 `json:"comm_s"`
+	// IdleS is the portion of this iteration the processor spent waiting:
+	// virtual time its clock was fast-forwarded to a message arrival or a
+	// barrier release. It is included in, not additional to, CommS and
+	// BalanceS.
+	IdleS float64 `json:"idle_s"`
+	// BalanceS is load-balancing and task-migration time.
+	BalanceS float64 `json:"balance_s"`
+	// MsgsSent and MsgsRecv count messages this iteration.
+	MsgsSent int `json:"msgs_sent"`
+	MsgsRecv int `json:"msgs_recv"`
+	// BytesSent and BytesRecv count payload bytes this iteration.
+	BytesSent int `json:"bytes_sent"`
+	BytesRecv int `json:"bytes_recv"`
+}
+
+// Migration is one executed task migration.
+type Migration struct {
+	// Iter is the iteration whose balancing invocation executed the move.
+	Iter int `json:"iter"`
+	// Node is the migrated node's global ID.
+	Node int `json:"node"`
+	// From and To are the source (busy) and destination (idle) processors.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// BenefitS is the estimated benefit: the node's observed per-iteration
+	// compute cost that the move transfers from From to To.
+	BenefitS float64 `json:"benefit_s"`
+}
+
+// Derived is the per-iteration series computed across processors.
+type Derived struct {
+	// Iter is the 1-based iteration.
+	Iter int `json:"iter"`
+	// Imbalance is max/mean per-processor compute time this iteration
+	// (1.0 = perfectly balanced; 0 when no compute time was recorded).
+	Imbalance float64 `json:"imbalance"`
+	// EdgeCut is the live edge-cut of the node-to-processor map at the end
+	// of the iteration, after any migrations (-1 when not recorded, e.g.
+	// for custom runners that have no evolving partition).
+	EdgeCut int `json:"edge_cut"`
+}
+
+// Recorder collects one run's trace. The zero value is ready: Start sizes
+// it for a run, Record* fill it, Finish computes the derived series.
+//
+// Concurrency: Start and Finish must be called outside the run (the
+// platform calls them before ranks launch and after they join). Each
+// RecordSample writes the preallocated slot (Iter, Proc) and may be called
+// concurrently from different ranks; RecordMigration and RecordEdgeCut
+// must only be called from rank 0 (the platform does).
+type Recorder struct {
+	procs, iters int
+	samples      []Sample
+	series       []Derived
+	migrations   []Migration
+}
+
+// Start sizes the recorder for a run of procs processors over iters
+// iterations, discarding any previous run's data. The platform calls it
+// from Run; call it directly only when driving a Recorder by hand.
+func (r *Recorder) Start(procs, iters int) {
+	r.procs, r.iters = procs, iters
+	n := procs * iters
+	if cap(r.samples) < n {
+		r.samples = make([]Sample, n)
+	}
+	r.samples = r.samples[:n]
+	if cap(r.series) < iters {
+		r.series = make([]Derived, iters)
+	}
+	r.series = r.series[:iters]
+	for i := range r.samples {
+		r.samples[i] = Sample{}
+	}
+	for i := range r.series {
+		r.series[i] = Derived{Iter: i + 1, EdgeCut: -1}
+	}
+	r.migrations = r.migrations[:0]
+}
+
+// Procs returns the processor count of the recorded run.
+func (r *Recorder) Procs() int { return r.procs }
+
+// Iterations returns the iteration count of the recorded run.
+func (r *Recorder) Iterations() int { return r.iters }
+
+// RecordSample stores s in the slot (s.Iter, s.Proc). Safe for concurrent
+// calls from different processors.
+func (r *Recorder) RecordSample(s Sample) {
+	if s.Iter < 1 || s.Iter > r.iters || s.Proc < 0 || s.Proc >= r.procs {
+		panic(fmt.Sprintf("trace: RecordSample(iter=%d, proc=%d) outside Start(%d, %d)",
+			s.Iter, s.Proc, r.procs, r.iters))
+	}
+	r.samples[(s.Iter-1)*r.procs+s.Proc] = s
+}
+
+// RecordMigration appends one executed migration. Rank 0 only.
+func (r *Recorder) RecordMigration(m Migration) {
+	r.migrations = append(r.migrations, m)
+}
+
+// RecordEdgeCut stores the live edge-cut at the end of iter. Rank 0 only.
+func (r *Recorder) RecordEdgeCut(iter, cut int) {
+	if iter < 1 || iter > r.iters {
+		panic(fmt.Sprintf("trace: RecordEdgeCut(iter=%d) outside Start(%d, %d)", iter, r.procs, r.iters))
+	}
+	r.series[iter-1].EdgeCut = cut
+}
+
+// Finish computes the derived per-iteration imbalance ratio from the
+// recorded samples. The platform calls it after every rank has finished.
+func (r *Recorder) Finish() {
+	for it := 0; it < r.iters; it++ {
+		row := r.samples[it*r.procs : (it+1)*r.procs]
+		max, sum := 0.0, 0.0
+		for _, s := range row {
+			if s.ComputeS > max {
+				max = s.ComputeS
+			}
+			sum += s.ComputeS
+		}
+		if sum > 0 {
+			r.series[it].Imbalance = max * float64(r.procs) / sum
+		}
+	}
+}
+
+// Samples returns the (iteration-major, processor-minor) sample records.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Migrations returns the executed migrations in execution order.
+func (r *Recorder) Migrations() []Migration { return r.migrations }
+
+// Series returns the per-iteration derived series.
+func (r *Recorder) Series() []Derived { return r.series }

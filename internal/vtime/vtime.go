@@ -1,15 +1,3 @@
-// Package vtime provides virtual clocks and communication cost models for
-// the deterministic discrete-event execution mode of the message-passing
-// runtime.
-//
-// The paper evaluated iC2mpi on an SGI Origin 2000 with up to 16 MPI
-// processes. This reproduction replaces physical parallel hardware with a
-// simulated cluster: every rank owns a Clock that advances by the virtual
-// cost of the work it performs (node computation charged at the paper's
-// grain sizes, message transfer charged with a LogGP-style alpha/beta
-// model). Because the platform is bulk-synchronous, exchanging clock values
-// at matching sends/receives and synchronizing them at barriers yields a
-// deterministic, scheduling-independent timeline.
 package vtime
 
 import "fmt"
