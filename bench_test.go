@@ -157,6 +157,49 @@ func BenchmarkExchangePooled8(b *testing.B)    { benchExchange(b, 8, true) }
 func BenchmarkExchangeUnpooled16(b *testing.B) { benchExchange(b, 16, false) }
 func BenchmarkExchangePooled16(b *testing.B)   { benchExchange(b, 16, true) }
 
+// BenchmarkNetworkModels runs the same exchange-heavy steady state on
+// every named interconnect model, measuring the host-side cost of the
+// per-message pricing path: "uniform" exercises the runtime's
+// devirtualized flat fast path, everything else the generic
+// netmodel.Model interface call plus a link-cost matrix lookup.
+// allocs/op must not differ across models — pricing is arithmetic, never
+// allocation.
+func BenchmarkNetworkModels(b *testing.B) {
+	g, err := ic2mpi.HexGrid(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := ic2mpi.NewMetis(7).Partition(g, nil, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range ic2mpi.NetworkModels() {
+		model, err := ic2mpi.NewNetworkModel(name, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ic2mpi.Config{
+			Graph:            g,
+			Procs:            8,
+			InitialPartition: part,
+			InitData:         workload.InitID,
+			Node:             workload.Averaging(workload.UniformGrain(workload.FineGrain)),
+			Iterations:       50,
+			SkipFinalGather:  true,
+			ReuseBuffers:     true,
+			Network:          model,
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ic2mpi.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMetisPartition measures the multilevel partitioner on the
 // battlefield-sized graph.
 func BenchmarkMetisPartition(b *testing.B) {

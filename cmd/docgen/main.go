@@ -10,9 +10,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/docgen            # rewrite docs in place
-//	go run ./cmd/docgen -check     # exit 1 if any doc is stale (CI)
-//	go run ./cmd/docgen -docs dir  # operate on another docs directory
+//	go run ./cmd/docgen              # rewrite docs in place
+//	go run ./cmd/docgen -check       # exit 1 if any doc is stale (CI)
+//	go run ./cmd/docgen -docs dir    # operate on another docs directory
+//	go run ./cmd/docgen -parallel 4  # bound concurrent pinned runs
+//
+// The pinned runs behind each section execute concurrently on -parallel
+// workers (default: number of CPUs); the rendered bytes are identical at
+// any setting.
 package main
 
 import (
@@ -32,7 +37,9 @@ func main() {
 
 	check := flag.Bool("check", false, "verify the docs match regenerated output; exit nonzero on drift")
 	docsDir := flag.String("docs", "docs", "documentation directory")
+	parallel := flag.Int("parallel", 0, "concurrent pinned scenario runs; 0 means number of CPUs")
 	flag.Parse()
+	experiments.Parallelism = *parallel
 
 	files := experiments.DocFiles()
 	names := make([]string, 0, len(files))

@@ -9,13 +9,20 @@
 //	experiments -list                # list experiment IDs and scenarios
 //	experiments -scenario life       # sweep a scenario over 1..16 processors
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8;partitioner=metis,pagrid"
+//	experiments -scenario hex64-fine -sweep "procs=1,2,4,8,16" -network hypercube,mesh2d
 //	experiments -scenario heat -format json > heat.json
 //	experiments -scenario heat -sweep "procs=4" -trace heat.jsonl
 //
 // The -sweep specification is semicolon-separated axis=value,value pairs
 // over the axes procs, partitioner, exchange (basic|overlap), buffers
 // (pooled|unpooled), balancer (none|centralized|centralized-strict|
-// diffusion) and iters; unspecified axes stay at the scenario's default.
+// diffusion), network (uniform|hypercube|mesh2d|fattree|hetgrid) and
+// iters; unspecified axes stay at the scenario's default. -network is
+// shorthand for the network axis.
+//
+// Sweep runs execute concurrently on -parallel workers (default: number
+// of CPUs). Output order — and output bytes — are independent of the
+// setting; -parallel 1 only serves to measure the speedup.
 //
 // -trace records per-iteration telemetry (compute/communicate/idle time
 // per processor, message counters, migrations, load imbalance, live
@@ -49,9 +56,12 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and registered scenarios, then exit")
 	scen := flag.String("scenario", "", "registered scenario to sweep (see -list)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
+	network := flag.String("network", "", `interconnect models to sweep, comma-separated (shorthand for the network axis), e.g. "hypercube,mesh2d"`)
+	parallel := flag.Int("parallel", 0, "concurrent sweep runs; 0 means number of CPUs")
 	format := flag.String("format", "text", "output format: text, json or csv")
 	tracePath := flag.String("trace", "", `write a per-iteration trace of one -scenario run: JSONL, CSV when the path ends in .csv, or "-" for JSONL on stdout`)
 	flag.Parse()
+	experiments.Parallelism = *parallel
 
 	if *list {
 		fmt.Println("paper experiments (-run):")
@@ -79,6 +89,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *network != "" {
+			if len(ax.Networks) > 0 {
+				log.Fatal(`-network and a "network=" sweep axis are mutually exclusive`)
+			}
+			for _, v := range strings.Split(*network, ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					ax.Networks = append(ax.Networks, v)
+				}
+			}
+		}
 		if *tracePath != "" {
 			rec := &trace.Recorder{}
 			rep, err := experiments.RunTraced(sc, ax, rec)
@@ -103,6 +123,8 @@ func main() {
 		log.Fatal("-trace requires -scenario (see -list for scenario names)")
 	case *sweep != "":
 		log.Fatal("-sweep requires -scenario (see -list for scenario names)")
+	case *network != "":
+		log.Fatal("-network requires -scenario (see -list for scenario names)")
 	default:
 		ids := experiments.IDs()
 		if *run != "" {

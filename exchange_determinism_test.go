@@ -176,6 +176,57 @@ func TestExchangeDeterminism(t *testing.T) {
 	}
 }
 
+// TestExchangeDeterminismNetworks extends the pooling contract over the
+// interconnect axis: on every named network model, pooled and unpooled
+// runs must produce identical virtual timelines and node data, and the
+// node data must match the sequential reference regardless of the
+// machine — the interconnect prices time, it never changes what is
+// computed.
+func TestExchangeDeterminismNetworks(t *testing.T) {
+	for _, network := range ic2mpi.NetworkModels() {
+		for _, procs := range []int{4, 8} {
+			t.Run(network+"/procs="+string(rune('0'+procs)), func(t *testing.T) {
+				model, err := ic2mpi.NewNetworkModel(network, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := heatConfig(t, procs)
+				base.Network = model
+				base.CheckInvariants = true
+
+				plain := base
+				plain.ReuseBuffers = false
+				pooled := base
+				pooled.ReuseBuffers = true
+
+				resPlain, err := ic2mpi.Run(plain)
+				if err != nil {
+					t.Fatalf("unpooled run: %v", err)
+				}
+				resPooled, err := ic2mpi.Run(pooled)
+				if err != nil {
+					t.Fatalf("pooled run: %v", err)
+				}
+				if resPlain.Elapsed != resPooled.Elapsed {
+					t.Errorf("virtual time diverged: unpooled %v, pooled %v", resPlain.Elapsed, resPooled.Elapsed)
+				}
+				want, err := ic2mpi.RunSequential(pooled)
+				if err != nil {
+					t.Fatalf("sequential reference: %v", err)
+				}
+				for v := range want {
+					if resPooled.FinalData[v] != want[v] {
+						t.Fatalf("node %d: pooled %v, sequential %v", v, resPooled.FinalData[v], want[v])
+					}
+					if resPlain.FinalData[v] != want[v] {
+						t.Fatalf("node %d: unpooled %v, sequential %v", v, resPlain.FinalData[v], want[v])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestExchangeDeterminismSubPhases covers the multi-sub-phase exchange
 // (battlefield-style SubPhases=2), where the parity-indexed pool must keep
 // sub-phase rounds from cross-matching.

@@ -52,11 +52,11 @@ import (
 	"ic2mpi/internal/balance"
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/partition"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/topology"
 	"ic2mpi/internal/trace"
-	"ic2mpi/internal/vtime"
 )
 
 // Core platform types, re-exported from the internal implementation.
@@ -95,8 +95,12 @@ type (
 	PartitionQuality = partition.Quality
 	// Network is a weighted processor network graph (speeds + link costs).
 	Network = topology.Network
-	// CostModel is the virtual-time communication cost model.
-	CostModel = vtime.CostModel
+	// NetworkModel is the pluggable interconnect model that prices
+	// point-to-point messages per rank pair (Config.Network).
+	NetworkModel = netmodel.Model
+	// CostModel is the LogGP base parameterization interconnect models
+	// scale per rank pair.
+	CostModel = netmodel.LogGP
 	// TraceRecorder collects per-iteration run telemetry when attached via
 	// Config.Trace: per-processor compute/communicate/idle time, message
 	// counters, task migrations, load imbalance and live edge-cut.
@@ -148,9 +152,9 @@ func WriteTrace(w io.Writer, format string, rec *TraceRecorder) error {
 // the paper's overhead measurements (Figures 21-22).
 func DefaultOverheads() OverheadModel { return platform.DefaultOverheads() }
 
-// Origin2000 returns the communication cost model calibrated against the
-// paper's SGI Origin 2000 testbed.
-func Origin2000() CostModel { return vtime.Origin2000() }
+// Origin2000 returns the base communication cost parameters calibrated
+// against the paper's SGI Origin 2000 testbed.
+func Origin2000() CostModel { return netmodel.Origin2000() }
 
 // Graph construction.
 
@@ -215,17 +219,46 @@ func EvaluatePartition(g *Graph, part []int, k int) (PartitionQuality, error) {
 	return partition.Evaluate(g, part, k)
 }
 
-// Processor networks.
+// Processor networks and interconnect models.
 
 // Hypercube returns a homogeneous hypercube processor network (link cost =
-// Hamming distance), the paper's Origin 2000 interconnect model.
+// Hamming distance), the paper's Origin 2000 interconnect.
 func Hypercube(procs int) (*Network, error) { return topology.Hypercube(procs) }
+
+// Mesh2D returns a homogeneous 2-D mesh processor network (link cost =
+// Manhattan distance on a near-square grid).
+func Mesh2D(procs int) (*Network, error) { return topology.Mesh2D(procs) }
+
+// FatTree returns a homogeneous fat-tree processor network (link cost =
+// switch hops through the lowest common ancestor).
+func FatTree(procs, arity int) (*Network, error) { return topology.FatTree(procs, arity) }
 
 // HeterogeneousGrid returns a two-cluster computational grid with slow
 // processors and expensive wide-area links, the environment PaGrid
 // targets.
 func HeterogeneousGrid(procs int, slowFactor, wanCost float64) (*Network, error) {
 	return topology.HeterogeneousGrid(procs, slowFactor, wanCost)
+}
+
+// NetworkModels returns the interconnect model names NewNetworkModel
+// accepts ("uniform", "hypercube", "mesh2d", "fattree", "hetgrid").
+func NetworkModels() []string { return netmodel.Names() }
+
+// NewNetworkModel resolves an interconnect model name to a machine over
+// procs processors with the Origin 2000 base costs, for Config.Network.
+func NewNetworkModel(name string, procs int) (NetworkModel, error) {
+	return netmodel.New(name, procs)
+}
+
+// UniformModel returns the flat interconnect: every rank pair pays the
+// same base cost, the seed system's single simulated machine.
+func UniformModel(base CostModel) NetworkModel { return netmodel.NewUniform(base) }
+
+// TopologyModel prices messages on an explicit processor network graph:
+// wire cost scales with the graph's per-pair link cost and computation
+// with per-processor Speed.
+func TopologyModel(net *Network, base CostModel) (NetworkModel, error) {
+	return netmodel.NewTopology(net, base)
 }
 
 // Dynamic load balancing.

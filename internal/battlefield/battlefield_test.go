@@ -6,8 +6,8 @@ import (
 	"testing/quick"
 
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/platform"
-	"ic2mpi/internal/vtime"
 )
 
 func smallScenario() Scenario {
@@ -41,7 +41,7 @@ func runConfig(t *testing.T, sc Scenario, procs, steps int, part []int) platform
 		Node:             sc.NodeFunc(DefaultCost()),
 		Iterations:       steps,
 		SubPhases:        2,
-		Cost:             vtime.Origin2000(),
+		Network:          netmodel.NewUniform(netmodel.Origin2000()),
 	}
 }
 

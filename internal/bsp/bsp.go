@@ -17,15 +17,16 @@ import (
 	"sort"
 
 	"ic2mpi/internal/mpi"
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/netmodel"
 )
 
 // Options configures a BSP machine.
 type Options struct {
 	// Procs is the number of BSP processes.
 	Procs int
-	// Cost is the communication cost model (virtual clock mode).
-	Cost vtime.CostModel
+	// Cost is the interconnect model pricing Put traffic in virtual
+	// clock mode; nil means free communication.
+	Cost netmodel.Model
 	// Mode selects virtual (default) or real clocks.
 	Mode mpi.ClockMode
 }

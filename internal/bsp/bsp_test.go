@@ -6,11 +6,11 @@ import (
 	"testing"
 
 	"ic2mpi/internal/mpi"
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/netmodel"
 )
 
 func free(procs int) Options {
-	return Options{Procs: procs, Cost: vtime.Zero()}
+	return Options{Procs: procs, Cost: netmodel.Free()}
 }
 
 func TestRunValidation(t *testing.T) {
@@ -162,7 +162,7 @@ func TestBSPCostModel(t *testing.T) {
 	// With a pure-latency cost model, a superstep's end time is the max
 	// participant compute time plus communication — the w_max + g·h + L
 	// shape of BSP.
-	cost := vtime.CostModel{Latency: 1e-3}
+	cost := netmodel.NewUniform(netmodel.LogGP{Latency: 1e-3})
 	opts := Options{Procs: 4, Cost: cost}
 	times := make([]float64, 4)
 	err := Run(opts, func(p *Proc) error {

@@ -10,11 +10,11 @@ import (
 
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/netmodel"
 )
 
 func world(procs int) mpi.Options {
-	return mpi.Options{Procs: procs, Cost: vtime.Zero()}
+	return mpi.Options{Procs: procs, Cost: netmodel.Free()}
 }
 
 func TestHomeInRangeAndDeterministic(t *testing.T) {

@@ -16,8 +16,12 @@
 //   - The sweep engine (Axes, ParseAxes, RunSweep) runs the cartesian
 //     product of a scenario's configuration axes — processor count,
 //     static partitioner, exchange mode, buffer pooling, dynamic
-//     balancer, iteration count — and reports one SweepRow of metrics
-//     per combination.
+//     balancer, interconnect model, iteration count — and reports one
+//     SweepRow of metrics per combination.
+//
+// Sweep runs execute concurrently on a bounded worker pool (Parallelism);
+// rows are always assembled in deterministic axis order, so parallelism
+// changes host wall-clock only, never output bytes.
 //
 // Every report kind (Table, Figure, SweepReport) renders as aligned text
 // and encodes to stable JSON and CSV through WriteReport; because the

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ic2mpi/internal/scenario"
+)
+
+// Parallelism bounds the number of scenario runs the sweep engine — and
+// through it docgen's pinned-run renderers — executes concurrently; <= 0
+// (the default) means runtime.GOMAXPROCS(0). Each run is an independent,
+// deterministic virtual-time simulation and results are always assembled
+// in axis order, so report bytes are identical at any setting; only host
+// wall-clock changes. cmd/experiments and cmd/docgen expose this as
+// -parallel. Set it before starting sweeps; it is not synchronized with
+// in-flight ones.
+var Parallelism int
+
+// workers resolves Parallelism to a concrete pool size for n tasks.
+func workers(n int) int {
+	w := Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// forEachParallel executes fn(0), ..., fn(n-1) on a bounded worker pool
+// and blocks until all calls return. Each index runs exactly once; fn
+// must write results into index-addressed slots (never append) so the
+// outcome is independent of scheduling.
+func forEachParallel(n int, fn func(int)) {
+	w := workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runScenarioAll executes every parameter set against sc on the worker
+// pool and returns results in input order, failing on the first error in
+// input order.
+func runScenarioAll(sc scenario.Scenario, params []scenario.Params) ([]*scenario.Result, error) {
+	results := make([]*scenario.Result, len(params))
+	errs := make([]error, len(params))
+	forEachParallel(len(params), func(i int) {
+		results[i], errs[i] = sc.Run(params[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

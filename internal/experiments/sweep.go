@@ -32,6 +32,9 @@ type Axes struct {
 	// Balancers is the dynamic-balancer axis (scenario.Balancers names the
 	// accepted values).
 	Balancers []string `json:"balancers"`
+	// Networks is the interconnect-model axis (netmodel.Names names the
+	// accepted values).
+	Networks []string `json:"networks"`
 	// Iterations is the iteration-count axis.
 	Iterations []int `json:"iterations"`
 }
@@ -45,6 +48,7 @@ func DefaultAxes() Axes {
 		Exchanges:    []string{""},
 		Buffers:      []string{""},
 		Balancers:    []string{""},
+		Networks:     []string{""},
 		Iterations:   []int{0},
 	}
 }
@@ -66,6 +70,9 @@ func (ax Axes) normalize() Axes {
 	if len(ax.Balancers) == 0 {
 		ax.Balancers = []string{""}
 	}
+	if len(ax.Networks) == 0 {
+		ax.Networks = []string{""}
+	}
 	if len(ax.Iterations) == 0 {
 		ax.Iterations = []int{0}
 	}
@@ -76,17 +83,17 @@ func (ax Axes) normalize() Axes {
 func (ax Axes) Size() int {
 	ax = ax.normalize()
 	return len(ax.Procs) * len(ax.Partitioners) * len(ax.Exchanges) *
-		len(ax.Buffers) * len(ax.Balancers) * len(ax.Iterations)
+		len(ax.Buffers) * len(ax.Balancers) * len(ax.Networks) * len(ax.Iterations)
 }
 
 // ParseAxes parses a sweep specification of semicolon-separated
 // axis=value,value pairs, e.g.
 //
-//	procs=1,2,4,8;partitioner=metis,pagrid;buffers=pooled,unpooled
+//	procs=1,2,4,8;partitioner=metis,pagrid;network=uniform,hypercube
 //
 // Accepted axis names: procs, partitioner, exchange, buffers, balancer,
-// iters (singular and plural forms both work). Unspecified axes stay at
-// the scenario's default.
+// network, iters (singular and plural forms both work). Unspecified axes
+// stay at the scenario's default.
 func ParseAxes(spec string) (Axes, error) {
 	ax := Axes{}
 	if strings.TrimSpace(spec) == "" {
@@ -135,8 +142,10 @@ func ParseAxes(spec string) (Axes, error) {
 			ax.Buffers = vals
 		case "balancer", "balancers":
 			ax.Balancers = vals
+		case "network", "networks":
+			ax.Networks = vals
 		default:
-			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, iters)", key)
+			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, network, iters)", key)
 		}
 	}
 	return ax, nil
@@ -152,7 +161,7 @@ type SweepRow struct {
 
 // SweepReport is the machine-readable result of one sweep, ordered
 // deterministically: iterations, partitioner, exchange, buffers,
-// balancer, then processor count, each in axis order.
+// balancer, network, then processor count, each in axis order.
 type SweepReport struct {
 	// ID is the report identifier ("sweep-<scenario>").
 	ID string `json:"id"`
@@ -172,7 +181,8 @@ type SweepReport struct {
 func (ax Axes) Single() (scenario.Params, error) {
 	var p scenario.Params
 	if len(ax.Procs) > 1 || len(ax.Partitioners) > 1 || len(ax.Exchanges) > 1 ||
-		len(ax.Buffers) > 1 || len(ax.Balancers) > 1 || len(ax.Iterations) > 1 {
+		len(ax.Buffers) > 1 || len(ax.Balancers) > 1 || len(ax.Networks) > 1 ||
+		len(ax.Iterations) > 1 {
 		return p, fmt.Errorf("experiments: expected a single parameter combination, got a %d-run sweep", ax.Size())
 	}
 	if len(ax.Procs) == 1 {
@@ -189,6 +199,9 @@ func (ax Axes) Single() (scenario.Params, error) {
 	}
 	if len(ax.Balancers) == 1 {
 		p.Balancer = ax.Balancers[0]
+	}
+	if len(ax.Networks) == 1 {
+		p.Network = ax.Networks[0]
 	}
 	if len(ax.Iterations) == 1 {
 		p.Iterations = ax.Iterations[0]
@@ -219,7 +232,10 @@ func RunTraced(sc scenario.Scenario, ax Axes, rec *trace.Recorder) (*SweepReport
 	}, nil
 }
 
-// RunSweep executes the cartesian sweep of sc over ax.
+// RunSweep executes the cartesian sweep of sc over ax. Runs execute
+// concurrently on the bounded worker pool (see Parallelism), but rows are
+// assembled in deterministic axis order, so the report — and any encoding
+// of it — is byte-identical at any parallelism.
 func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 	ax = ax.normalize()
 	rep := &SweepReport{
@@ -227,44 +243,55 @@ func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 		Title:    fmt.Sprintf("Sweep of scenario %s: %s", sc.Name, sc.Description),
 		Scenario: sc.Name,
 	}
+	// Enumerate every run up front, processor count innermost so each
+	// contiguous chunk of len(ax.Procs) results forms one speedup group.
+	params := make([]scenario.Params, 0, ax.Size())
 	for _, iters := range ax.Iterations {
 		for _, part := range ax.Partitioners {
 			for _, ex := range ax.Exchanges {
 				for _, buf := range ax.Buffers {
 					for _, bal := range ax.Balancers {
-						group := make([]SweepRow, 0, len(ax.Procs))
-						for _, procs := range ax.Procs {
-							res, err := sc.Run(scenario.Params{
-								Procs:       procs,
-								Partitioner: part,
-								Exchange:    ex,
-								Buffers:     buf,
-								Balancer:    bal,
-								Iterations:  iters,
-							})
-							if err != nil {
-								return nil, err
-							}
-							group = append(group, SweepRow{Result: *res})
-						}
-						// Speedups relative to the group's 1-processor run.
-						var base float64
-						for _, row := range group {
-							if row.Params.Procs == 1 {
-								base = row.Elapsed
-								break
+						for _, netw := range ax.Networks {
+							for _, procs := range ax.Procs {
+								params = append(params, scenario.Params{
+									Procs:       procs,
+									Partitioner: part,
+									Exchange:    ex,
+									Buffers:     buf,
+									Balancer:    bal,
+									Network:     netw,
+									Iterations:  iters,
+								})
 							}
 						}
-						for i := range group {
-							if base > 0 && group[i].Elapsed > 0 {
-								group[i].Speedup = base / group[i].Elapsed
-							}
-						}
-						rep.Rows = append(rep.Rows, group...)
 					}
 				}
 			}
 		}
+	}
+	results, err := runScenarioAll(sc, params)
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < len(results); g += len(ax.Procs) {
+		group := make([]SweepRow, 0, len(ax.Procs))
+		for _, res := range results[g : g+len(ax.Procs)] {
+			group = append(group, SweepRow{Result: *res})
+		}
+		// Speedups relative to the group's 1-processor run.
+		var base float64
+		for _, row := range group {
+			if row.Params.Procs == 1 {
+				base = row.Elapsed
+				break
+			}
+		}
+		for i := range group {
+			if base > 0 && group[i].Elapsed > 0 {
+				group[i].Speedup = base / group[i].Elapsed
+			}
+		}
+		rep.Rows = append(rep.Rows, group...)
 	}
 	return rep, nil
 }
@@ -273,13 +300,13 @@ func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 func (r *SweepReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", r.ID, r.Title)
-	fmt.Fprintf(&b, "%6s %12s %8s %9s %19s %6s %12s %8s %9s %11s %9s\n",
-		"procs", "partitioner", "exchange", "buffers", "balancer", "iters",
+	fmt.Fprintf(&b, "%6s %12s %8s %9s %19s %9s %6s %12s %8s %9s %11s %9s\n",
+		"procs", "partitioner", "exchange", "buffers", "balancer", "network", "iters",
 		"elapsed_s", "speedup", "edge_cut", "migrations", "msgs")
 	for _, row := range r.Rows {
 		p := row.Params
-		fmt.Fprintf(&b, "%6d %12s %8s %9s %19s %6d %12.4f %8.2f %9d %11d %9d\n",
-			p.Procs, p.Partitioner, p.Exchange, p.Buffers, p.Balancer, p.Iterations,
+		fmt.Fprintf(&b, "%6d %12s %8s %9s %19s %9s %6d %12.4f %8.2f %9d %11d %9d\n",
+			p.Procs, p.Partitioner, p.Exchange, p.Buffers, p.Balancer, p.Network, p.Iterations,
 			row.Elapsed, row.Speedup, row.EdgeCut, row.Migrations, row.MessagesSent)
 	}
 	if r.Notes != "" {

@@ -12,9 +12,11 @@
 // The runtime supports two clock modes:
 //
 //   - Virtual (default): every rank owns a vtime.Clock. Computation charged
-//     with Comm.Charge and message transfer costed by a vtime.CostModel
-//     advance the clocks; matching receives synchronize receiver time with
-//     message arrival time; collectives synchronize all participants. The
+//     with Comm.Charge and message transfer priced by a netmodel.Model
+//     (per-pair arrival times — uniform, hypercube, mesh, fat tree — plus
+//     per-rank overheads) advance the clocks; matching receives synchronize
+//     receiver time with message arrival time; collectives synchronize all
+//     participants. The
 //     resulting timeline is deterministic and independent of the host's
 //     goroutine scheduling, which is what lets a 1-CPU machine reproduce
 //     16-processor speedup curves. Stats additionally reports per-rank

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/vtime"
 )
 
@@ -26,27 +27,30 @@ const (
 type Options struct {
 	// Procs is the number of ranks (>= 1).
 	Procs int
-	// Cost is the communication cost model used in VirtualClock mode.
-	Cost vtime.CostModel
+	// Cost is the interconnect model that prices messages in VirtualClock
+	// mode: per-pair arrival times plus per-rank send/receive overheads.
+	// nil means free communication (netmodel.Free()).
+	Cost netmodel.Model
 	// Mode selects virtual or real time accounting.
 	Mode ClockMode
-	// LinkScale, when non-nil, scales the wire portion of a message's cost
-	// (latency + bytes/bandwidth) by a per-pair factor — e.g. the hop
-	// count between src and dst on a hypercube. It must be deterministic
-	// and safe for concurrent calls. nil means uniform links.
-	LinkScale func(src, dst int) float64
 }
 
 // World owns the shared state of one SPMD execution: mailboxes, the barrier,
 // and the start time for RealClock mode.
 type World struct {
-	procs     int
-	cost      vtime.CostModel
-	mode      ClockMode
-	linkScale func(src, dst int) float64
-	boxes     []*mailbox
-	bar       *barrier
-	start     time.Time
+	procs int
+	cost  netmodel.Model
+	mode  ClockMode
+	// flat devirtualizes the uniform model: when the cost model is a
+	// netmodel.Uniform, message arrival is computed inline from the two
+	// cached wire parameters instead of through an interface call — the
+	// receive path is hot enough that BenchmarkExchange* notices.
+	flat         bool
+	flatLatency  float64
+	flatByteTime float64
+	boxes        []*mailbox
+	bar          *barrier
+	start        time.Time
 	// failFlag is the lock-free fast path for "has any rank failed":
 	// receive loops poll it on every wakeup, so it must not require
 	// taking failMu (which would nest inside the mailbox lock).
@@ -159,6 +163,10 @@ type Comm struct {
 	world *World
 	rank  int
 	clock vtime.Clock
+	// sendOverhead/recvOverhead cache the cost model's per-rank message
+	// overheads so the per-message paths make no interface calls for them.
+	sendOverhead float64
+	recvOverhead float64
 	// sent/received count operations, exposed in Stats for tests.
 	sent, received int
 	bytesSent      int
@@ -200,16 +208,24 @@ func Run(opts Options, fn func(c *Comm) error) error {
 	if opts.Procs < 1 {
 		return fmt.Errorf("mpi: Procs must be >= 1, got %d", opts.Procs)
 	}
-	if err := opts.Cost.Validate(); err != nil {
+	cost := opts.Cost
+	if cost == nil {
+		cost = netmodel.Free()
+	}
+	if err := cost.Validate(opts.Procs); err != nil {
 		return err
 	}
 	w := &World{
-		procs:     opts.Procs,
-		cost:      opts.Cost,
-		mode:      opts.Mode,
-		linkScale: opts.LinkScale,
-		bar:       newBarrier(opts.Procs),
-		start:     time.Now(),
+		procs: opts.Procs,
+		cost:  cost,
+		mode:  opts.Mode,
+		bar:   newBarrier(opts.Procs),
+		start: time.Now(),
+	}
+	if u, ok := cost.(netmodel.Uniform); ok {
+		w.flat = true
+		w.flatLatency = u.Base.Latency
+		w.flatByteTime = u.Base.ByteTime
 	}
 	w.boxes = make([]*mailbox, opts.Procs)
 	for i := range w.boxes {
@@ -220,7 +236,12 @@ func Run(opts Options, fn func(c *Comm) error) error {
 	for r := 0; r < opts.Procs; r++ {
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{world: w, rank: rank}
+			c := &Comm{
+				world:        w,
+				rank:         rank,
+				sendOverhead: cost.SendOverhead(rank),
+				recvOverhead: cost.RecvOverhead(rank),
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					w.setFail(fmt.Errorf("mpi: rank %d panicked: %v", rank, p))
@@ -317,7 +338,7 @@ func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
 	if bytes < 0 {
 		return fmt.Errorf("mpi: Isend negative byte count %d", bytes)
 	}
-	c.clock.Advance(c.world.cost.SendOverhead)
+	c.clock.Advance(c.sendOverhead)
 	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now()}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
@@ -371,19 +392,22 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 
 func (c *Comm) completeRecv(m message) {
 	if c.world.mode == VirtualClock {
-		wire := c.world.cost.Latency + float64(m.bytes)*c.world.cost.ByteTime
-		if c.world.linkScale != nil && m.src != c.rank {
-			if s := c.world.linkScale(m.src, c.rank); s > 0 {
-				wire *= s
-			}
+		// sentAt already includes the sender's SendOverhead charge; the
+		// model prices the wire portion per (src, dst) pair.
+		var arrival float64
+		if c.world.flat {
+			// Sum the wire term first — same float association as
+			// netmodel.Uniform.ArrivalTime, which this path devirtualizes.
+			wire := c.world.flatLatency + float64(m.bytes)*c.world.flatByteTime
+			arrival = m.sentAt + wire
+		} else {
+			arrival = c.world.cost.ArrivalTime(m.src, c.rank, m.sentAt, m.bytes)
 		}
-		// sentAt already includes the sender's SendOverhead charge.
-		arrival := m.sentAt + wire
 		if now := c.clock.Now(); arrival > now {
 			c.idleSeconds += arrival - now
 		}
 		c.clock.AdvanceTo(arrival)
-		c.clock.Advance(c.world.cost.RecvOverhead)
+		c.clock.Advance(c.recvOverhead)
 	}
 	c.received++
 	c.bytesReceived += m.bytes

@@ -7,15 +7,15 @@ import (
 	"sync"
 	"testing"
 
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/netmodel"
 )
 
 func virtualOpts(procs int) Options {
-	return Options{Procs: procs, Cost: vtime.Origin2000(), Mode: VirtualClock}
+	return Options{Procs: procs, Cost: netmodel.NewUniform(netmodel.Origin2000()), Mode: VirtualClock}
 }
 
 func freeOpts(procs int) Options {
-	return Options{Procs: procs, Cost: vtime.Zero(), Mode: VirtualClock}
+	return Options{Procs: procs, Cost: netmodel.Free(), Mode: VirtualClock}
 }
 
 func TestRunRejectsZeroProcs(t *testing.T) {
@@ -25,7 +25,7 @@ func TestRunRejectsZeroProcs(t *testing.T) {
 }
 
 func TestRunRejectsNegativeCostModel(t *testing.T) {
-	opts := Options{Procs: 1, Cost: vtime.CostModel{Latency: -1}}
+	opts := Options{Procs: 1, Cost: netmodel.NewUniform(netmodel.LogGP{Latency: -1})}
 	if err := Run(opts, func(c *Comm) error { return nil }); err == nil {
 		t.Fatal("expected error for negative latency")
 	}
@@ -170,7 +170,7 @@ func TestRecvInvalidRank(t *testing.T) {
 }
 
 func TestVirtualClockMessageTiming(t *testing.T) {
-	cost := vtime.CostModel{Latency: 1e-3, ByteTime: 1e-6, SendOverhead: 1e-4, RecvOverhead: 1e-4}
+	cost := netmodel.NewUniform(netmodel.LogGP{Latency: 1e-3, ByteTime: 1e-6, SendOverhead: 1e-4, RecvOverhead: 1e-4})
 	opts := Options{Procs: 2, Cost: cost, Mode: VirtualClock}
 	err := Run(opts, func(c *Comm) error {
 		if c.Rank() == 0 {
@@ -196,7 +196,7 @@ func TestVirtualClockMessageTiming(t *testing.T) {
 func TestVirtualClockLateReceiverNotDelayed(t *testing.T) {
 	// If the receiver is already past the arrival time, Recv must not move
 	// its clock backwards and only charges the receive overhead.
-	cost := vtime.CostModel{Latency: 1e-3, RecvOverhead: 1e-4}
+	cost := netmodel.NewUniform(netmodel.LogGP{Latency: 1e-3, RecvOverhead: 1e-4})
 	err := Run(Options{Procs: 2, Cost: cost, Mode: VirtualClock}, func(c *Comm) error {
 		if c.Rank() == 0 {
 			return c.Send(1, 0, "x", 0)
@@ -431,7 +431,7 @@ func TestBcastInts(t *testing.T) {
 }
 
 func TestIrecvWaitOverlap(t *testing.T) {
-	cost := vtime.CostModel{Latency: 1e-3}
+	cost := netmodel.NewUniform(netmodel.LogGP{Latency: 1e-3})
 	err := Run(Options{Procs: 2, Cost: cost, Mode: VirtualClock}, func(c *Comm) error {
 		if c.Rank() == 0 {
 			return c.Send(1, 0, 1, 0)

@@ -6,26 +6,41 @@ import (
 	"math/rand"
 	"testing"
 
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/netmodel"
+	"ic2mpi/internal/topology"
 )
 
-func TestLinkScaleMultipliesWireCost(t *testing.T) {
-	cost := vtime.CostModel{Latency: 1e-3}
-	opts := Options{
-		Procs: 2,
-		Cost:  cost,
-		LinkScale: func(src, dst int) float64 {
-			return 3 // every pair three hops away
-		},
+// scaledNet returns a 2-processor network whose single link costs scale.
+func scaledNet(t *testing.T, procs int, scale float64) *topology.Network {
+	t.Helper()
+	net, err := topology.Uniform(procs)
+	if err != nil {
+		t.Fatal(err)
 	}
-	err := Run(opts, func(c *Comm) error {
+	for i := range net.LinkCost {
+		for j := range net.LinkCost[i] {
+			if i != j {
+				net.LinkCost[i][j] = scale
+			}
+		}
+	}
+	return net
+}
+
+func TestTopologyModelMultipliesWireCost(t *testing.T) {
+	model, err := netmodel.NewTopology(scaledNet(t, 2, 3), netmodel.LogGP{Latency: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Procs: 2, Cost: model}
+	err = Run(opts, func(c *Comm) error {
 		if c.Rank() == 0 {
 			return c.Send(1, 0, "x", 0)
 		}
 		if _, err := c.Recv(0, 0); err != nil {
 			return err
 		}
-		want := 3e-3 // scaled latency
+		want := 3e-3 // three-hop latency
 		if got := c.Wtime(); math.Abs(got-want) > 1e-12 {
 			return fmt.Errorf("Wtime = %v, want %v", got, want)
 		}
@@ -36,21 +51,20 @@ func TestLinkScaleMultipliesWireCost(t *testing.T) {
 	}
 }
 
-func TestLinkScaleZeroOrNegativeIgnored(t *testing.T) {
-	cost := vtime.CostModel{Latency: 1e-3}
-	opts := Options{
-		Procs:     2,
-		Cost:      cost,
-		LinkScale: func(src, dst int) float64 { return 0 },
+func TestTopologyModelZeroLinkCostIgnored(t *testing.T) {
+	model, err := netmodel.NewTopology(scaledNet(t, 2, 0), netmodel.LogGP{Latency: 1e-3})
+	if err != nil {
+		t.Fatal(err)
 	}
-	err := Run(opts, func(c *Comm) error {
+	opts := Options{Procs: 2, Cost: model}
+	err = Run(opts, func(c *Comm) error {
 		if c.Rank() == 0 {
 			return c.Send(1, 0, "x", 0)
 		}
 		if _, err := c.Recv(0, 0); err != nil {
 			return err
 		}
-		// Non-positive scale falls back to the unscaled wire cost.
+		// Non-positive link cost falls back to the unscaled wire cost.
 		if got := c.Wtime(); math.Abs(got-1e-3) > 1e-12 {
 			return fmt.Errorf("Wtime = %v, want 1e-3", got)
 		}
@@ -61,17 +75,20 @@ func TestLinkScaleZeroOrNegativeIgnored(t *testing.T) {
 	}
 }
 
-func TestLinkScaleAsymmetricPairs(t *testing.T) {
-	// Distinct per-pair scales must be honored independently.
-	cost := vtime.CostModel{Latency: 1e-3}
-	opts := Options{
-		Procs: 3,
-		Cost:  cost,
-		LinkScale: func(src, dst int) float64 {
-			return float64(src + dst) // (0,1)=1, (0,2)=2
-		},
+func TestTopologyModelDistinctPairs(t *testing.T) {
+	// Distinct per-pair link costs must be honored independently.
+	net, err := topology.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
 	}
-	err := Run(opts, func(c *Comm) error {
+	net.LinkCost[0][1], net.LinkCost[1][0] = 1, 1
+	net.LinkCost[0][2], net.LinkCost[2][0] = 2, 2
+	model, err := netmodel.NewTopology(net, netmodel.LogGP{Latency: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Procs: 3, Cost: model}
+	err = Run(opts, func(c *Comm) error {
 		switch c.Rank() {
 		case 0:
 			if err := c.Send(1, 0, nil, 0); err != nil {
@@ -102,6 +119,34 @@ func TestLinkScaleAsymmetricPairs(t *testing.T) {
 	}
 }
 
+// TestHypercubeModelMatchesHammingDistance drives the named hypercube
+// machine end to end through the runtime: a message between ranks three
+// bit-flips apart pays three times the wire latency.
+func TestHypercubeModelMatchesHammingDistance(t *testing.T) {
+	model, err := netmodel.NewHypercube(8, netmodel.LogGP{Latency: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(Options{Procs: 8, Cost: model}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(7, 0, nil, 0) // 0 -> 7 is Hamming distance 3
+		}
+		if c.Rank() != 7 {
+			return nil
+		}
+		if _, err := c.Recv(0, 0); err != nil {
+			return err
+		}
+		if got, want := c.Wtime(), 3e-3; math.Abs(got-want) > 1e-12 {
+			return fmt.Errorf("Wtime = %v, want %v", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestStressRandomTraffic exercises the runtime with a seeded random
 // communication pattern: every rank sends a deterministic pseudo-random
 // set of messages; the matching receives verify payload integrity and the
@@ -109,7 +154,7 @@ func TestLinkScaleAsymmetricPairs(t *testing.T) {
 func TestStressRandomTraffic(t *testing.T) {
 	const procs = 9
 	const rounds = 30
-	err := Run(Options{Procs: procs, Cost: vtime.Zero()}, func(c *Comm) error {
+	err := Run(Options{Procs: procs, Cost: netmodel.Free()}, func(c *Comm) error {
 		for round := 0; round < rounds; round++ {
 			// Deterministic plan shared by all ranks: sender s sends to
 			// (s + round*k) % procs for k = 1..(round%3+1).
@@ -148,7 +193,7 @@ func TestStressRandomTraffic(t *testing.T) {
 // larger world size.
 func TestStressCollectivesLargeWorld(t *testing.T) {
 	const procs = 23
-	err := Run(Options{Procs: procs, Cost: vtime.Zero()}, func(c *Comm) error {
+	err := Run(Options{Procs: procs, Cost: netmodel.Free()}, func(c *Comm) error {
 		rng := rand.New(rand.NewSource(int64(c.Rank())))
 		_ = rng
 		for root := 0; root < procs; root += 5 {

@@ -1,0 +1,316 @@
+// Package netmodel prices point-to-point communication on a pluggable
+// interconnect model, turning the platform's single simulated machine
+// into a family of machines.
+//
+// The seed system charged one flat LogGP cost for every rank pair, so a
+// hypercube, a 2-D mesh and a crossbar were indistinguishable. This
+// package owns that costing seam: a Model maps (src, dst, send time,
+// bytes) to a message arrival time, plus the per-rank send/receive CPU
+// overheads and the per-processor relative speed. The mpi runtime calls
+// the model on every message delivery; the platform reads Speed for
+// heterogeneous computation; scenarios and the experiments sweep engine
+// select models by name ("uniform", "hypercube", "mesh2d", "fattree",
+// "hetgrid").
+//
+// Every model is deterministic and safe for concurrent use: arrival
+// times are pure functions of their arguments, which is what keeps
+// virtual-time runs byte-identical across hosts and repetitions
+// (docgen's pinned tables and the golden traces depend on it).
+//
+// The invariant all shipped models satisfy — and tests enforce — is hop
+// monotonicity: for a fixed payload and send time, a route with more
+// hops never yields an earlier arrival.
+package netmodel
+
+import (
+	"fmt"
+
+	"ic2mpi/internal/topology"
+)
+
+// LogGP is the base message-cost parameterization shared by every model:
+// a message of n bytes sent at time t occupies the sender for
+// SendOverhead seconds, travels for Latency + n*ByteTime seconds of wire
+// time (scaled by the interconnect's per-pair link cost), and occupies
+// the receiver for RecvOverhead seconds once matched. All parameters are
+// in seconds (per byte for ByteTime).
+type LogGP struct {
+	// Latency is the per-message wire latency (the LogGP L parameter).
+	Latency float64
+	// ByteTime is the inverse bandwidth in seconds per byte (LogGP G).
+	ByteTime float64
+	// SendOverhead is the CPU time the sender spends injecting a message
+	// (LogGP o_s). Charged even by nonblocking sends, as MPI_Isend still
+	// pays a software overhead.
+	SendOverhead float64
+	// RecvOverhead is the CPU time the receiver spends extracting a
+	// matched message (LogGP o_r).
+	RecvOverhead float64
+}
+
+// Validate reports an error when any parameter is negative; the base
+// parameters are otherwise unconstrained.
+func (g LogGP) Validate() error {
+	if g.Latency < 0 || g.ByteTime < 0 || g.SendOverhead < 0 || g.RecvOverhead < 0 {
+		return fmt.Errorf("netmodel: negative LogGP parameter: %+v", g)
+	}
+	return nil
+}
+
+// Origin2000 returns the base cost parameters calibrated against the
+// paper's SGI Origin 2000 testbed (CRAYlink interconnect, hypercube
+// ccNUMA). The constants were fitted so that the 64-node hexagonal grid
+// at fine grain reproduces the shape of the paper's Tables 2-4: a
+// per-message latency large enough that fine-grain runs stop scaling
+// between 8 and 16 processors, and bandwidth high enough that
+// coarse-grain runs keep scaling. This is the single home of those
+// calibrated constants; everything else (the facade, scenarios, the
+// platform default) derives from it.
+func Origin2000() LogGP {
+	return LogGP{
+		Latency:      60e-6, // per-message MPI latency
+		ByteTime:     12e-9, // ~83 MB/s effective per-pair bandwidth
+		SendOverhead: 15e-6,
+		RecvOverhead: 20e-6,
+	}
+}
+
+// Model prices communication on one interconnect. Implementations must
+// be deterministic, safe for concurrent calls, and hop-monotone: more
+// hops between a pair never produces an earlier arrival.
+type Model interface {
+	// ArrivalTime returns the virtual time at which a message of nbytes
+	// sent from src at sendStart (the sender's clock after its send
+	// overhead) becomes available at dst.
+	ArrivalTime(src, dst int, sendStart float64, nbytes int) float64
+	// SendOverhead is the CPU time rank spends injecting one message.
+	SendOverhead(rank int) float64
+	// RecvOverhead is the CPU time rank spends extracting one message.
+	RecvOverhead(rank int) float64
+	// Speed is rank's relative execution-time multiplier (1 = reference
+	// processor; 2 = takes twice as long per unit of work).
+	Speed(rank int) float64
+	// Validate checks the model can serve procs ranks.
+	Validate(procs int) error
+	// String names the model for reports and sweep axes.
+	String() string
+}
+
+// Uniform is the flat crossbar model: every rank pair pays the same
+// LogGP cost, exactly the seed system's behavior. The mpi runtime
+// devirtualizes this model into a branch-free fast path, so a uniform
+// machine costs no interface dispatch per message.
+type Uniform struct {
+	// Base is the flat per-message cost.
+	Base LogGP
+}
+
+// NewUniform returns the flat model over the given base parameters.
+func NewUniform(base LogGP) Uniform { return Uniform{Base: base} }
+
+// Free returns a uniform model in which communication costs nothing.
+// Useful in unit tests that verify data movement independently of
+// timing.
+func Free() Uniform { return Uniform{} }
+
+// ArrivalTime implements Model: sendStart + (Latency + nbytes*ByteTime).
+// The wire term is summed before adding sendStart so the result is
+// bit-identical to the topology models on unit links (and to the seed
+// system's flat path, whose pinned goldens depend on this association).
+func (u Uniform) ArrivalTime(src, dst int, sendStart float64, nbytes int) float64 {
+	wire := u.Base.Latency + float64(nbytes)*u.Base.ByteTime
+	return sendStart + wire
+}
+
+// SendOverhead implements Model.
+func (u Uniform) SendOverhead(rank int) float64 { return u.Base.SendOverhead }
+
+// RecvOverhead implements Model.
+func (u Uniform) RecvOverhead(rank int) float64 { return u.Base.RecvOverhead }
+
+// Speed implements Model: a uniform machine is homogeneous.
+func (u Uniform) Speed(rank int) float64 { return 1 }
+
+// Validate implements Model.
+func (u Uniform) Validate(procs int) error {
+	if procs < 1 {
+		return fmt.Errorf("netmodel: uniform model needs procs >= 1, got %d", procs)
+	}
+	return u.Base.Validate()
+}
+
+// String implements Model.
+func (u Uniform) String() string { return NameUniform }
+
+// Topology prices messages on a processor network graph: the wire
+// portion of a message's cost (latency + bytes/bandwidth) scales with
+// the graph's per-pair link cost — the store-and-forward hop count for
+// the distance-derived constructors — and computation scales with the
+// owning processor's relative Speed. A link cost of 1 (or 0, the
+// diagonal) leaves the wire cost unscaled, so a topology where every
+// pair is adjacent is bit-identical to Uniform.
+type Topology struct {
+	// Base is the per-message cost of a single-hop message.
+	Base LogGP
+	// Net is the processor network graph (link costs + speeds).
+	Net *topology.Network
+	// name is the registry name when built by a named constructor, or
+	// Net.Name for ad-hoc graphs.
+	name string
+}
+
+// NewTopology wraps an arbitrary processor network graph — including
+// heterogeneous ones such as topology.HeterogeneousGrid — as an
+// interconnect model.
+func NewTopology(net *topology.Network, base LogGP) (Topology, error) {
+	if net == nil {
+		return Topology{}, fmt.Errorf("netmodel: nil network")
+	}
+	if err := net.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return Topology{Base: base, Net: net, name: net.Name}, nil
+}
+
+// NewHypercube returns the hypercube model over procs processors: wire
+// cost scales with the Hamming distance of the endpoint ids, the routing
+// distance on the paper's Origin 2000 CRAYlink interconnect.
+func NewHypercube(procs int, base LogGP) (Topology, error) {
+	net, err := topology.Hypercube(procs)
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Base: base, Net: net, name: NameHypercube}, nil
+}
+
+// NewMesh2D returns the 2-D mesh model over procs processors: wire cost
+// scales with the Manhattan distance between the endpoints' mesh
+// positions (dimension-ordered routing on a topology.Dims grid).
+func NewMesh2D(procs int, base LogGP) (Topology, error) {
+	net, err := topology.Mesh2D(procs)
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Base: base, Net: net, name: NameMesh2D}, nil
+}
+
+// NewFatTree returns the fat-tree model over procs processors with the
+// given switch arity: wire cost scales with the up*-down* switch-hop
+// count 2l-1, l being the level of the endpoints' lowest common
+// ancestor switch.
+func NewFatTree(procs, arity int, base LogGP) (Topology, error) {
+	net, err := topology.FatTree(procs, arity)
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Base: base, Net: net, name: NameFatTree}, nil
+}
+
+// NewHeterogeneousGrid returns the two-cluster computational-grid model:
+// the second half of the processors run slowFactor times slower, and
+// inter-cluster links cost wanCost times a local link — the environment
+// the PaGrid partitioner targets.
+func NewHeterogeneousGrid(procs int, slowFactor, wanCost float64, base LogGP) (Topology, error) {
+	net, err := topology.HeterogeneousGrid(procs, slowFactor, wanCost)
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Base: base, Net: net, name: NameHetGrid}, nil
+}
+
+// ArrivalTime implements Model: the wire time Latency + nbytes*ByteTime
+// is multiplied by the link cost between src and dst (hop count for the
+// distance-derived graphs). Self-sends and non-positive link costs fall
+// back to the unscaled wire time.
+func (t Topology) ArrivalTime(src, dst int, sendStart float64, nbytes int) float64 {
+	wire := t.Base.Latency + float64(nbytes)*t.Base.ByteTime
+	if src != dst {
+		if s := t.Net.LinkCost[src][dst]; s > 0 {
+			wire *= s
+		}
+	}
+	return sendStart + wire
+}
+
+// SendOverhead implements Model.
+func (t Topology) SendOverhead(rank int) float64 { return t.Base.SendOverhead }
+
+// RecvOverhead implements Model.
+func (t Topology) RecvOverhead(rank int) float64 { return t.Base.RecvOverhead }
+
+// Speed implements Model.
+func (t Topology) Speed(rank int) float64 { return t.Net.Speed[rank] }
+
+// Validate implements Model.
+func (t Topology) Validate(procs int) error {
+	if t.Net == nil {
+		return fmt.Errorf("netmodel: topology model has no network")
+	}
+	if err := t.Net.Validate(); err != nil {
+		return err
+	}
+	if t.Net.Procs() < procs {
+		return fmt.Errorf("netmodel: %s has %d processors, need %d", t.String(), t.Net.Procs(), procs)
+	}
+	return t.Base.Validate()
+}
+
+// String implements Model.
+func (t Topology) String() string {
+	if t.name != "" {
+		return t.name
+	}
+	if t.Net != nil && t.Net.Name != "" {
+		return t.Net.Name
+	}
+	return "topology"
+}
+
+// Registry names accepted by New and the scenario/experiments network
+// axis.
+const (
+	NameUniform   = "uniform"
+	NameHypercube = "hypercube"
+	NameMesh2D    = "mesh2d"
+	NameFatTree   = "fattree"
+	NameHetGrid   = "hetgrid"
+)
+
+// Default parameters of the named hetgrid and fattree machines.
+const (
+	// DefaultFatTreeArity is the switch arity of the named "fattree"
+	// machine: four processors per leaf switch.
+	DefaultFatTreeArity = 4
+	// DefaultHetGridSlowFactor makes the named "hetgrid" machine's slow
+	// cluster twice as slow as its fast cluster.
+	DefaultHetGridSlowFactor = 2
+	// DefaultHetGridWANCost makes the named "hetgrid" machine's
+	// inter-cluster links ten times a local link.
+	DefaultHetGridWANCost = 10
+)
+
+// Names returns the model names New accepts, in presentation order.
+func Names() []string {
+	return []string{NameUniform, NameHypercube, NameMesh2D, NameFatTree, NameHetGrid}
+}
+
+// New resolves a model name to a machine over procs processors with the
+// Origin 2000 base parameters — the single construction path scenarios
+// and the experiments network axis share. The empty name resolves to
+// NameUniform.
+func New(name string, procs int) (Model, error) {
+	switch name {
+	case "", NameUniform:
+		return NewUniform(Origin2000()), nil
+	case NameHypercube:
+		return NewHypercube(procs, Origin2000())
+	case NameMesh2D:
+		return NewMesh2D(procs, Origin2000())
+	case NameFatTree:
+		return NewFatTree(procs, DefaultFatTreeArity, Origin2000())
+	case NameHetGrid:
+		return NewHeterogeneousGrid(procs, DefaultHetGridSlowFactor, DefaultHetGridWANCost, Origin2000())
+	default:
+		return nil, fmt.Errorf("netmodel: unknown model %q (known: %v)", name, Names())
+	}
+}

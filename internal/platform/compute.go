@@ -155,8 +155,8 @@ func (s *rankState) computeNode(node *ownNode, iter, sub int, buffers [][]shadow
 	if cost < 0 {
 		return fmt.Errorf("platform: node function returned negative cost %g for node %d", cost, node.id)
 	}
-	if s.cfg.Network != nil {
-		cost *= s.cfg.Network.Speed[s.me]
+	if s.speed != 1 {
+		cost *= s.speed
 	}
 	s.comm.Charge(cost)
 	t2 := s.comm.Wtime()

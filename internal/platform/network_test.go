@@ -4,12 +4,23 @@ import (
 	"strings"
 	"testing"
 
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/topology"
 )
 
-// Tests for the processor-network plug-in (Config.Network): heterogeneous
+// Tests for the interconnect plug-in (Config.Network): heterogeneous
 // speeds slow computation, link costs slow communication, and results stay
 // correct either way.
+
+// overNet wraps a processor network graph with the Origin 2000 base costs.
+func overNet(t *testing.T, net *topology.Network) netmodel.Model {
+	t.Helper()
+	m, err := netmodel.NewTopology(net, netmodel.Origin2000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 func TestNetworkSpeedSlowsComputation(t *testing.T) {
 	g := hexGrid(t, 4, 8)
@@ -25,10 +36,10 @@ func TestNetworkSpeedSlowsComputation(t *testing.T) {
 	}
 	slow.Speed[1] = 4.0 // processor 1 runs 4x slower
 
-	base.Network = uniform
+	base.Network = overNet(t, uniform)
 	fast := assertMatchesSequential(t, base)
 
-	base.Network = slow
+	base.Network = overNet(t, slow)
 	slowed := assertMatchesSequential(t, base)
 
 	if slowed.Elapsed <= fast.Elapsed {
@@ -50,7 +61,7 @@ func TestNetworkLinkCostSlowsCommunication(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base.Network = cheap
+	base.Network = overNet(t, cheap)
 	near := assertMatchesSequential(t, base)
 
 	expensive, err := topology.Uniform(4)
@@ -64,11 +75,34 @@ func TestNetworkLinkCostSlowsCommunication(t *testing.T) {
 			}
 		}
 	}
-	base.Network = expensive
+	base.Network = overNet(t, expensive)
 	far := assertMatchesSequential(t, base)
 
 	if far.Elapsed <= near.Elapsed {
 		t.Fatalf("20x links %.4f not slower than 1x links %.4f", far.Elapsed, near.Elapsed)
+	}
+}
+
+// TestNetworkUniformModelMatchesUnitTopology pins the devirtualized
+// uniform fast path against the generic topology path: a fully connected
+// unit-cost network is the same machine as the flat model, so both runs
+// must produce bit-identical timelines.
+func TestNetworkUniformModelMatchesUnitTopology(t *testing.T) {
+	g := hexGrid(t, 4, 8)
+	cfg := baseConfig(g, 4)
+
+	cfg.Network = netmodel.NewUniform(netmodel.Origin2000())
+	flat := assertMatchesSequential(t, cfg)
+
+	unit, err := topology.Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = overNet(t, unit)
+	viaTopology := assertMatchesSequential(t, cfg)
+
+	if flat.Elapsed != viaTopology.Elapsed {
+		t.Fatalf("uniform fast path %.9f != unit topology %.9f", flat.Elapsed, viaTopology.Elapsed)
 	}
 }
 
@@ -79,8 +113,8 @@ func TestNetworkValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Network = small
-	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "network") {
+	cfg.Network = overNet(t, small)
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "processors") {
 		t.Fatalf("undersized network accepted: %v", err)
 	}
 	bad, err := topology.Uniform(2)
@@ -88,7 +122,7 @@ func TestNetworkValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad.Speed[0] = -1
-	cfg.Network = bad
+	cfg.Network = netmodel.Topology{Base: netmodel.Origin2000(), Net: bad}
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("invalid network accepted")
 	}
@@ -97,7 +131,7 @@ func TestNetworkValidation(t *testing.T) {
 func TestNetworkHypercubeMatchesSequential(t *testing.T) {
 	g := hexGrid(t, 8, 8)
 	cfg := baseConfig(g, 8)
-	net, err := topology.Hypercube(8)
+	net, err := netmodel.NewHypercube(8, netmodel.Origin2000())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,4 +140,21 @@ func TestNetworkHypercubeMatchesSequential(t *testing.T) {
 	cfg.Iterations = 12
 	cfg.BalanceEvery = 4
 	assertMatchesSequential(t, cfg)
+}
+
+// TestNetworkModelsMatchSequential runs every named interconnect through
+// the full platform and verifies final node data still matches the
+// sequential reference: the machine changes the timeline, never the
+// computation.
+func TestNetworkModelsMatchSequential(t *testing.T) {
+	for _, name := range netmodel.Names() {
+		g := hexGrid(t, 4, 8)
+		cfg := baseConfig(g, 4)
+		m, err := netmodel.New(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Network = m
+		assertMatchesSequential(t, cfg)
+	}
 }

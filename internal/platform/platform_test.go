@@ -7,7 +7,7 @@ import (
 
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
-	"ic2mpi/internal/vtime"
+	"ic2mpi/internal/netmodel"
 )
 
 // initID matches workload.InitID without importing it (avoiding a cycle in
@@ -63,7 +63,7 @@ func baseConfig(g *graph.Graph, procs int) Config {
 		InitData:         initID,
 		Node:             mixing(1e-4),
 		Iterations:       8,
-		Cost:             vtime.Origin2000(),
+		Network:          netmodel.NewUniform(netmodel.Origin2000()),
 		CheckInvariants:  true,
 	}
 }

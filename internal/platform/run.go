@@ -32,11 +32,7 @@ func Run(cfg Config) (*Result, error) {
 	var mu sync.Mutex
 	elapsed := make([]float64, c.Procs)
 
-	opts := mpi.Options{Procs: c.Procs, Cost: c.Cost, Mode: c.Mode}
-	if c.Network != nil {
-		net := c.Network
-		opts.LinkScale = func(src, dst int) float64 { return net.LinkCost[src][dst] }
-	}
+	opts := mpi.Options{Procs: c.Procs, Cost: c.Network, Mode: c.Mode}
 	runErr := mpi.Run(opts, func(comm *mpi.Comm) error {
 		if err := comm.Barrier(); err != nil {
 			return err

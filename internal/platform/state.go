@@ -32,6 +32,9 @@ type rankState struct {
 	cfg  *Config
 	comm *mpi.Comm
 	me   int
+	// speed caches the interconnect model's relative execution-time
+	// multiplier for this processor (1 on homogeneous machines).
+	speed float64
 
 	owner []int // node -> owning processor, kept in sync across ranks
 
@@ -97,6 +100,7 @@ func newRankState(cfg *Config, comm *mpi.Comm) (*rankState, error) {
 		cfg:   cfg,
 		comm:  comm,
 		me:    comm.Rank(),
+		speed: cfg.Network.Speed(comm.Rank()),
 		owner: append([]int(nil), cfg.InitialPartition...),
 		byID:  make(map[graph.NodeID]*ownNode),
 	}

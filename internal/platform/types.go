@@ -5,9 +5,8 @@ import (
 
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
-	"ic2mpi/internal/topology"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/trace"
-	"ic2mpi/internal/vtime"
 )
 
 // NodeData is the user-supplied per-node state (the thesis' node_data
@@ -216,14 +215,15 @@ type Config struct {
 	// tasks in one invocation, re-planning against estimated
 	// post-migration times.
 	BalanceRounds int
-	// Cost is the communication cost model (default vtime.Origin2000()).
-	Cost vtime.CostModel
-	// Network, when non-nil, is the processor network graph the execution
-	// runs on: message wire cost scales with LinkCost[src][dst] (hop count
-	// on a hypercube) and node computation scales with the owning
-	// processor's Speed. This is the paper's processor-network-graph
-	// plug-in point; a nil Network is a uniform machine.
-	Network *topology.Network
+	// Network is the interconnect model the execution runs on: message
+	// wire cost is priced per (src, dst) pair — hop count over the
+	// processor network graph for the topology-backed models — and node
+	// computation scales with the owning processor's relative Speed. This
+	// is the paper's processor-network-graph plug-in point. nil selects a
+	// uniform machine with the Origin 2000 base costs in VirtualClock
+	// mode (netmodel.NewUniform(netmodel.Origin2000())) and free
+	// communication in RealClock mode.
+	Network netmodel.Model
 	// Overheads prices platform bookkeeping (default DefaultOverheads()).
 	Overheads OverheadModel
 	// Mode selects virtual (default) or real clocks.
@@ -282,19 +282,18 @@ func (c *Config) normalize() (*Config, error) {
 	if out.BalanceEvery <= 0 {
 		out.BalanceEvery = 10
 	}
-	if out.Cost == (vtime.CostModel{}) && out.Mode == mpi.VirtualClock {
-		out.Cost = vtime.Origin2000()
-	}
 	if out.Overheads == (OverheadModel{}) {
 		out.Overheads = DefaultOverheads()
 	}
-	if out.Network != nil {
-		if err := out.Network.Validate(); err != nil {
-			return nil, err
+	if out.Network == nil {
+		if out.Mode == mpi.VirtualClock {
+			out.Network = netmodel.NewUniform(netmodel.Origin2000())
+		} else {
+			out.Network = netmodel.Free()
 		}
-		if out.Network.Procs() < out.Procs {
-			return nil, fmt.Errorf("platform: network has %d processors, need %d", out.Network.Procs(), out.Procs)
-		}
+	}
+	if err := out.Network.Validate(out.Procs); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
 	}
 	return &out, nil
 }

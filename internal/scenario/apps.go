@@ -3,6 +3,7 @@ package scenario
 import (
 	"ic2mpi/internal/bsp"
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/trace"
 	"ic2mpi/internal/workload"
@@ -136,12 +137,21 @@ func SSSPNode(id graph.NodeID, iter, sub int, self platform.NodeData, nbrs []pla
 const PageRankDamping = 0.85
 
 // PageRankBSP runs iters PageRank supersteps over g on procs BSP
-// processes (block vertex distribution, one Put per edge per superstep)
-// and returns the final ranks plus the maximum virtual completion time
-// across processes. Deterministic for a fixed (g, procs, iters). A
-// non-nil rec records one trace sample per (superstep, process): the
-// scatter loop as compute, Sync as communicate.
+// processes with the scenario's built-in machine: computation charged,
+// h-relations shipped for free. See PageRankBSPOn for an explicit
+// interconnect.
 func PageRankBSP(g *graph.Graph, procs, iters int, rec *trace.Recorder) ([]float64, float64, error) {
+	return PageRankBSPOn(g, procs, iters, nil, rec)
+}
+
+// PageRankBSPOn runs iters PageRank supersteps over g on procs BSP
+// processes (block vertex distribution, one Put per edge per superstep)
+// with Put traffic priced by the given interconnect model (nil means
+// free), and returns the final ranks plus the maximum virtual completion
+// time across processes. Deterministic for a fixed (g, procs, iters,
+// model). A non-nil rec records one trace sample per (superstep,
+// process): the scatter loop as compute, Sync as communicate.
+func PageRankBSPOn(g *graph.Graph, procs, iters int, model netmodel.Model, rec *trace.Recorder) ([]float64, float64, error) {
 	n := g.NumVertices()
 	ranks := make([]float64, n)
 	times := make([]float64, procs)
@@ -164,7 +174,7 @@ func PageRankBSP(g *graph.Graph, procs, iters int, rec *trace.Recorder) ([]float
 			rec.RecordEdgeCut(it, cut)
 		}
 	}
-	runErr := bsp.Run(bsp.Options{Procs: procs}, func(p *bsp.Proc) error {
+	runErr := bsp.Run(bsp.Options{Procs: procs, Cost: model}, func(p *bsp.Proc) error {
 		lo := p.Pid() * n / p.NProcs()
 		hi := (p.Pid() + 1) * n / p.NProcs()
 
@@ -323,7 +333,15 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			_, elapsed, err := PageRankBSP(g, p.Procs, p.Iterations, p.Trace)
+			// The empty network keeps the scenario's built-in free-comm
+			// machine; an explicit -network prices the h-relations.
+			var model netmodel.Model
+			if p.Network != "" {
+				if model, err = netmodel.New(p.Network, p.Procs); err != nil {
+					return nil, err
+				}
+			}
+			_, elapsed, err := PageRankBSPOn(g, p.Procs, p.Iterations, model, p.Trace)
 			if err != nil {
 				return nil, err
 			}

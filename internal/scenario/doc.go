@@ -20,8 +20,8 @@
 //
 // Params selects one point of a scenario's configuration space (processor
 // count, partitioner, exchange mode, buffer pooling, balancer,
-// iterations); Scenario.Run executes that point and returns a flat,
-// machine-readable Result. All execution is in deterministic virtual
-// time: running the same (scenario, params) twice yields byte-identical
-// results.
+// interconnect model, iterations); Scenario.Run executes that point and
+// returns a flat, machine-readable Result. All execution is in
+// deterministic virtual time: running the same (scenario, params) twice
+// yields byte-identical results.
 package scenario

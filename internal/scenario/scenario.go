@@ -5,11 +5,11 @@ import (
 
 	"ic2mpi/internal/balance"
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/partition"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/topology"
 	"ic2mpi/internal/trace"
-	"ic2mpi/internal/vtime"
 )
 
 // Exchange modes selectable through Params.Exchange.
@@ -47,6 +47,14 @@ type Params struct {
 	// Balancer names the dynamic load balancer; see Balancers for the
 	// accepted names ("none" disables balancing).
 	Balancer string `json:"balancer"`
+	// Network names the interconnect model the run executes on; see
+	// netmodel.Names for the accepted names. Platform scenarios default
+	// to "hypercube" — the paper's Origin 2000 CRAYlink machine, and the
+	// machine every pinned docgen table and golden trace was measured on.
+	// Custom-runner scenarios default to their own built-in machine
+	// (serialized as ""): pagerank-bsp charges computation but ships
+	// h-relations for free unless a model is named explicitly.
+	Network string `json:"network"`
 	// Iterations is the number of outer iterations (time steps).
 	Iterations int `json:"iterations"`
 	// BalanceEvery is the balancing period in iterations.
@@ -151,6 +159,14 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 			p.Balancer = "none"
 		}
 	}
+	if p.Network == "" {
+		if p.Network = def.Network; p.Network == "" && sc.Runner == nil {
+			p.Network = netmodel.NameHypercube
+		}
+	}
+	if p.Network != "" && !knownNetwork(p.Network) {
+		return p, fmt.Errorf("scenario %s: unknown network %q (known: %v)", sc.Name, p.Network, netmodel.Names())
+	}
 	if p.Iterations == 0 {
 		if p.Iterations = def.Iterations; p.Iterations == 0 {
 			p.Iterations = sc.Iterations
@@ -176,11 +192,11 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 }
 
 // Config builds the platform configuration for one run of the scenario at
-// the given parameters: graph generated, partition computed, hypercube
-// network and Origin 2000 cost model attached. Callers that need final
-// node data (examples verifying against the sequential reference) flip
-// SkipFinalGather off before platform.Run. Scenarios with a custom Runner
-// have no platform configuration and return an error.
+// the given parameters: graph generated, partition computed, and the
+// named interconnect model (Origin 2000 base costs) attached. Callers
+// that need final node data (examples verifying against the sequential
+// reference) flip SkipFinalGather off before platform.Run. Scenarios with
+// a custom Runner have no platform configuration and return an error.
 func (sc Scenario) Config(p Params) (*platform.Config, error) {
 	if sc.Runner != nil {
 		return nil, fmt.Errorf("scenario %s: custom runner, no platform config", sc.Name)
@@ -193,7 +209,11 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	part, err := Partition(p.Partitioner, g, p.Procs)
+	net, err := netmodel.New(p.Network, p.Procs)
+	if err != nil {
+		return nil, err
+	}
+	part, err := PartitionOn(p.Partitioner, g, p.Procs, net)
 	if err != nil {
 		return nil, err
 	}
@@ -203,10 +223,6 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 	}
 	if p.Procs == 1 {
 		bal = nil // one processor has nothing to balance
-	}
-	net, err := topology.Hypercube(p.Procs)
-	if err != nil {
-		return nil, err
 	}
 	return &platform.Config{
 		Graph:            g,
@@ -221,7 +237,6 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 		Balancer:         bal,
 		BalanceEvery:     p.BalanceEvery,
 		BalanceRounds:    p.BalanceRounds,
-		Cost:             vtime.Origin2000(),
 		Overheads:        platform.DefaultOverheads(),
 		Network:          net,
 		SkipFinalGather:  true,
@@ -279,13 +294,27 @@ func Partitioners() []string {
 // PaGrid maps onto the Origin 2000's hypercube with the paper's
 // Rref = 0.45; the geometric partitioners require graph coordinates.
 func Partition(name string, g *graph.Graph, k int) ([]int, error) {
+	return PartitionOn(name, g, k, nil)
+}
+
+// PartitionOn is Partition with the run's interconnect model: the
+// network-aware PaGrid partitioner maps onto the model's processor
+// network graph, so a mesh2d run is partitioned for a mesh, not a
+// hypercube. A nil model (or one without an underlying graph, such as
+// the uniform crossbar) keeps the historical hypercube target.
+func PartitionOn(name string, g *graph.Graph, k int, model netmodel.Model) ([]int, error) {
 	switch name {
 	case "metis":
 		return (&partition.Multilevel{Seed: 1}).Partition(g, nil, k)
 	case "pagrid":
-		net, err := topology.Hypercube(k)
-		if err != nil {
-			return nil, err
+		var net *topology.Network
+		if topo, ok := model.(netmodel.Topology); ok {
+			net = topo.Net
+		} else {
+			var err error
+			if net, err = topology.Hypercube(k); err != nil {
+				return nil, err
+			}
 		}
 		return (&partition.PaGrid{Rref: 0.45, Seed: 1}).Partition(g, net, k)
 	case "rowband":
@@ -301,6 +330,18 @@ func Partition(name string, g *graph.Graph, k int) ([]int, error) {
 	default:
 		return nil, fmt.Errorf("scenario: unknown partitioner %q (known: %v)", name, Partitioners())
 	}
+}
+
+// knownNetwork reports whether name is a registered interconnect model;
+// normalize uses it so validation does not construct (and discard) the
+// model's link matrix on every run.
+func knownNetwork(name string) bool {
+	for _, n := range netmodel.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Balancers returns the accepted Params.Balancer names.

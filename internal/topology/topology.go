@@ -83,6 +83,78 @@ func Hypercube(procs int) (*Network, error) {
 	return n, nil
 }
 
+// Mesh2D returns a homogeneous 2-D mesh network over procs processors:
+// processor p sits at row p/cols, column p%cols of a Dims(procs) grid, and
+// the link cost between two processors is their Manhattan distance — the
+// store-and-forward hop count of dimension-ordered mesh routing.
+func Mesh2D(procs int) (*Network, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("topology: Mesh2D needs procs >= 1, got %d", procs)
+	}
+	rows, cols, err := Dims(procs)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Name:     fmt.Sprintf("%dx%d mesh", rows, cols),
+		Speed:    make([]float64, procs),
+		LinkCost: make([][]float64, procs),
+	}
+	for p := 0; p < procs; p++ {
+		n.Speed[p] = 1
+		n.LinkCost[p] = make([]float64, procs)
+		for q := 0; q < procs; q++ {
+			if p != q {
+				dr := p/cols - q/cols
+				if dr < 0 {
+					dr = -dr
+				}
+				dc := p%cols - q%cols
+				if dc < 0 {
+					dc = -dc
+				}
+				n.LinkCost[p][q] = float64(dr + dc)
+			}
+		}
+	}
+	return n, nil
+}
+
+// FatTree returns a homogeneous fat-tree network over procs processors
+// with the given switch arity (processors per leaf switch, and children
+// per switch at every higher level). The link cost between p and q is
+// 2l-1 where l is the level of their lowest common ancestor switch: 1
+// inside a leaf switch, 3 one level up, 5 two levels up, and so on — the
+// switch-hop count of up*-down* routing. Because a fat tree thickens its
+// upper links, this counts latency hops only; bandwidth is uniform.
+func FatTree(procs, arity int) (*Network, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("topology: FatTree needs procs >= 1, got %d", procs)
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("topology: FatTree needs arity >= 2, got %d", arity)
+	}
+	n := &Network{
+		Name:     fmt.Sprintf("%d-processor %d-ary fat tree", procs, arity),
+		Speed:    make([]float64, procs),
+		LinkCost: make([][]float64, procs),
+	}
+	for p := 0; p < procs; p++ {
+		n.Speed[p] = 1
+		n.LinkCost[p] = make([]float64, procs)
+		for q := 0; q < procs; q++ {
+			if p != q {
+				level := 1
+				for pg, qg := p/arity, q/arity; pg != qg; pg, qg = pg/arity, qg/arity {
+					level++
+				}
+				n.LinkCost[p][q] = float64(2*level - 1)
+			}
+		}
+	}
+	return n, nil
+}
+
 // Uniform returns a fully connected homogeneous network with unit link
 // costs — what Metis implicitly assumes ("Metis does not use processor
 // network graph").

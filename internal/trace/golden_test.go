@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/scenario"
 	"ic2mpi/internal/trace"
 )
@@ -20,15 +21,15 @@ import (
 var update = flag.Bool("update", false, "rewrite golden trace files")
 
 // heatTrace runs the heat scenario (4 procs, 12 iterations) with the
-// given buffer mode and returns its JSONL trace.
-func heatTrace(t *testing.T, buffers string) []byte {
+// given buffer mode and interconnect model and returns its JSONL trace.
+func heatTrace(t *testing.T, buffers, network string) []byte {
 	t.Helper()
 	sc, err := scenario.Get("heat")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rec := &trace.Recorder{}
-	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Trace: rec}); err != nil {
+	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Network: network, Trace: rec}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -40,7 +41,7 @@ func heatTrace(t *testing.T, buffers string) []byte {
 
 func TestGoldenHeatTrace(t *testing.T) {
 	golden := filepath.Join("testdata", "heat-4proc-12iter.jsonl")
-	got := heatTrace(t, scenario.BuffersPooled)
+	got := heatTrace(t, scenario.BuffersPooled, "")
 	if *update {
 		if err := os.WriteFile(golden, got, 0o644); err != nil {
 			t.Fatal(err)
@@ -56,12 +57,47 @@ func TestGoldenHeatTrace(t *testing.T) {
 	}
 
 	// Byte-identical across repeated runs.
-	if again := heatTrace(t, scenario.BuffersPooled); !bytes.Equal(got, again) {
+	if again := heatTrace(t, scenario.BuffersPooled, ""); !bytes.Equal(got, again) {
 		t.Error("trace differs between two identical runs")
 	}
 	// Byte-identical with the buffer pool off: tracing observes the
 	// virtual timeline, which pooling must not touch.
-	if unpooled := heatTrace(t, scenario.BuffersUnpooled); !bytes.Equal(got, unpooled) {
+	if unpooled := heatTrace(t, scenario.BuffersUnpooled, ""); !bytes.Equal(got, unpooled) {
 		t.Error("trace differs between pooled and unpooled runs")
+	}
+	// The scenario default machine IS the hypercube: naming it must
+	// change nothing. This pins the seed timeline across the netmodel
+	// refactor.
+	if hyper := heatTrace(t, scenario.BuffersPooled, "hypercube"); !bytes.Equal(got, hyper) {
+		t.Error("explicit hypercube differs from the scenario default")
+	}
+}
+
+// TestGoldenHeatTracePerNetwork pins one golden trace per interconnect
+// model: the determinism contract holds machine by machine (same run,
+// same bytes; pooling never matters), and the timelines are pinned
+// against checked-in files so a costing change cannot slip by unnoticed.
+func TestGoldenHeatTracePerNetwork(t *testing.T) {
+	for _, network := range netmodel.Names() {
+		t.Run(network, func(t *testing.T) {
+			golden := filepath.Join("testdata", "heat-4proc-12iter-"+network+".jsonl")
+			got := heatTrace(t, scenario.BuffersPooled, network)
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/trace -update` to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("trace diverged from %s (%d vs %d bytes); regenerate with -update if the change is intended",
+					golden, len(got), len(want))
+			}
+			if unpooled := heatTrace(t, scenario.BuffersUnpooled, network); !bytes.Equal(got, unpooled) {
+				t.Error("trace differs between pooled and unpooled runs")
+			}
+		})
 	}
 }

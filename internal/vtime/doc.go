@@ -1,15 +1,14 @@
-// Package vtime provides virtual clocks and communication cost models for
-// the deterministic discrete-event execution mode of the message-passing
-// runtime.
+// Package vtime provides the virtual clock of the deterministic
+// discrete-event execution mode of the message-passing runtime.
 //
 // The paper evaluated iC2mpi on an SGI Origin 2000 with up to 16 MPI
 // processes. This reproduction replaces physical parallel hardware with a
 // simulated cluster: every rank owns a Clock that advances by the virtual
 // cost of the work it performs (node computation charged at the paper's
-// grain sizes, message transfer charged with a LogGP-style alpha/beta
-// model). Because the platform is bulk-synchronous, exchanging clock values
-// at matching sends/receives and synchronizing them at barriers yields a
-// deterministic, scheduling-independent timeline.
+// grain sizes, message transfer priced by an interconnect model from
+// internal/netmodel). Because the platform is bulk-synchronous, exchanging
+// clock values at matching sends/receives and synchronizing them at
+// barriers yields a deterministic, scheduling-independent timeline.
 //
 // That timeline is the repository's load-bearing invariant: speedup
 // tables, sweep JSON, docgen'd documentation tables and per-iteration

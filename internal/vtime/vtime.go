@@ -32,59 +32,7 @@ func (c *Clock) AdvanceTo(t float64) {
 // String implements fmt.Stringer for debugging output.
 func (c *Clock) String() string { return fmt.Sprintf("vt=%.6fs", c.now) }
 
-// CostModel charges virtual time for communication events. It is a
-// simplified LogGP model: a message of n bytes sent at time t occupies the
-// sender for SendOverhead seconds, becomes available at the receiver at
-//
-//	t + SendOverhead + Latency + float64(n)*ByteTime
-//
-// and occupies the receiver for RecvOverhead seconds once matched. All
-// parameters are in seconds (per byte for ByteTime).
-type CostModel struct {
-	// Latency is the per-message wire latency (the LogGP L parameter).
-	Latency float64
-	// ByteTime is the inverse bandwidth in seconds per byte (LogGP G).
-	ByteTime float64
-	// SendOverhead is the CPU time the sender spends injecting a message
-	// (LogGP o_s). Charged even by nonblocking sends, as MPI_Isend still
-	// pays a software overhead.
-	SendOverhead float64
-	// RecvOverhead is the CPU time the receiver spends extracting a
-	// matched message (LogGP o_r).
-	RecvOverhead float64
-}
-
-// Origin2000 returns the cost model used to calibrate experiments against
-// the paper's SGI Origin 2000 (CRAYlink interconnect, hypercube ccNUMA).
-// The constants were fitted so that the 64-node hexagonal grid at fine
-// grain reproduces the shape of the paper's Tables 2-4: a per-message
-// latency large enough that fine-grain runs stop scaling between 8 and 16
-// processors, and bandwidth high enough that coarse-grain runs keep
-// scaling.
-func Origin2000() CostModel {
-	return CostModel{
-		Latency:      60e-6, // per-message MPI latency
-		ByteTime:     12e-9, // ~83 MB/s effective per-pair bandwidth
-		SendOverhead: 15e-6,
-		RecvOverhead: 20e-6,
-	}
-}
-
-// Zero returns a cost model in which communication is free. Useful in unit
-// tests that verify data movement independently of timing.
-func Zero() CostModel { return CostModel{} }
-
-// ArrivalTime returns the virtual time at which a message of n bytes sent
-// at sendStart becomes available at the receiver.
-func (m CostModel) ArrivalTime(sendStart float64, n int) float64 {
-	return sendStart + m.SendOverhead + m.Latency + float64(n)*m.ByteTime
-}
-
-// Validate reports an error when any parameter is negative; cost models are
-// otherwise unconstrained.
-func (m CostModel) Validate() error {
-	if m.Latency < 0 || m.ByteTime < 0 || m.SendOverhead < 0 || m.RecvOverhead < 0 {
-		return fmt.Errorf("vtime: cost model has negative parameter: %+v", m)
-	}
-	return nil
-}
+// Communication pricing lives in internal/netmodel: the LogGP base
+// parameters (netmodel.LogGP, netmodel.Origin2000) and the pluggable
+// interconnect models that scale them per rank pair. This package keeps
+// only the clock.

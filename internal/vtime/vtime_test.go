@@ -72,37 +72,3 @@ func TestQuickClockMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func TestArrivalTime(t *testing.T) {
-	m := CostModel{Latency: 1e-3, ByteTime: 1e-6, SendOverhead: 1e-4, RecvOverhead: 2e-4}
-	got := m.ArrivalTime(1.0, 1000)
-	want := 1.0 + 1e-4 + 1e-3 + 1e-3
-	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
-		t.Fatalf("ArrivalTime = %v, want %v", got, want)
-	}
-}
-
-func TestValidate(t *testing.T) {
-	if err := Origin2000().Validate(); err != nil {
-		t.Fatal(err)
-	}
-	if err := Zero().Validate(); err != nil {
-		t.Fatal(err)
-	}
-	bad := CostModel{ByteTime: -1}
-	if err := bad.Validate(); err == nil {
-		t.Fatal("negative ByteTime accepted")
-	}
-}
-
-func TestOrigin2000Shape(t *testing.T) {
-	m := Origin2000()
-	if m.Latency <= 0 || m.ByteTime <= 0 || m.SendOverhead <= 0 || m.RecvOverhead <= 0 {
-		t.Fatalf("Origin2000 has non-positive parameters: %+v", m)
-	}
-	// Latency must dominate the per-byte cost for small messages — the
-	// fine-grain scaling plateau depends on it.
-	if m.Latency < 100*m.ByteTime {
-		t.Fatalf("latency %v suspiciously small vs byte time %v", m.Latency, m.ByteTime)
-	}
-}
