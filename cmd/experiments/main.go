@@ -10,15 +10,17 @@
 //	experiments -scenario life       # sweep a scenario over 1..16 processors
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8;partitioner=metis,pagrid"
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8,16" -network hypercube,mesh2d
+//	experiments -scenario hex64-fine -sweep "procs=8;balancer=none,centralized" -perturb none,brownout
 //	experiments -scenario heat -format json > heat.json
 //	experiments -scenario heat -sweep "procs=4" -trace heat.jsonl
 //
 // The -sweep specification is semicolon-separated axis=value,value pairs
 // over the axes procs, partitioner, exchange (basic|overlap), buffers
 // (pooled|unpooled), balancer (none|centralized|centralized-strict|
-// diffusion), network (uniform|hypercube|mesh2d|fattree|hetgrid) and
-// iters; unspecified axes stay at the scenario's default. -network is
-// shorthand for the network axis.
+// diffusion), network (uniform|hypercube|mesh2d|fattree|hetgrid),
+// perturb (none|brownout|links|ramp|chaos, each optionally @<seed>) and
+// iters; unspecified axes stay at the scenario's default. -network and
+// -perturb are shorthand for the network and perturb axes.
 //
 // Sweep runs execute concurrently on -parallel workers (default: number
 // of CPUs). Output order — and output bytes — are independent of the
@@ -57,6 +59,7 @@ func main() {
 	scen := flag.String("scenario", "", "registered scenario to sweep (see -list)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
 	network := flag.String("network", "", `interconnect models to sweep, comma-separated (shorthand for the network axis), e.g. "hypercube,mesh2d"`)
+	perturb := flag.String("perturb", "", `fault-injection schedules to sweep, comma-separated (shorthand for the perturb axis), e.g. "none,brownout,chaos@3"`)
 	parallel := flag.Int("parallel", 0, "concurrent sweep runs; 0 means number of CPUs")
 	format := flag.String("format", "text", "output format: text, json or csv")
 	tracePath := flag.String("trace", "", `write a per-iteration trace of one -scenario run: JSONL, CSV when the path ends in .csv, or "-" for JSONL on stdout`)
@@ -89,16 +92,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *network != "" {
-			if len(ax.Networks) > 0 {
-				log.Fatal(`-network and a "network=" sweep axis are mutually exclusive`)
-			}
-			for _, v := range strings.Split(*network, ",") {
-				if v = strings.TrimSpace(v); v != "" {
-					ax.Networks = append(ax.Networks, v)
-				}
-			}
-		}
+		applyAxisFlag(*network, "network", &ax.Networks)
+		applyAxisFlag(*perturb, "perturb", &ax.Perturbs)
 		if *tracePath != "" {
 			rec := &trace.Recorder{}
 			rep, err := experiments.RunTraced(sc, ax, rec)
@@ -125,6 +120,8 @@ func main() {
 		log.Fatal("-sweep requires -scenario (see -list for scenario names)")
 	case *network != "":
 		log.Fatal("-network requires -scenario (see -list for scenario names)")
+	case *perturb != "":
+		log.Fatal("-perturb requires -scenario (see -list for scenario names)")
 	default:
 		ids := experiments.IDs()
 		if *run != "" {
@@ -151,6 +148,22 @@ func main() {
 	}
 	if err := experiments.WriteReport(os.Stdout, *format, reports...); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// applyAxisFlag merges a comma-separated shorthand flag (-network,
+// -perturb) into its sweep axis; naming the axis both ways is an error.
+func applyAxisFlag(val, name string, axis *[]string) {
+	if val == "" {
+		return
+	}
+	if len(*axis) > 0 {
+		log.Fatalf(`-%s and a "%s=" sweep axis are mutually exclusive`, name, name)
+	}
+	for _, v := range strings.Split(val, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			*axis = append(*axis, v)
+		}
 	}
 }
 

@@ -227,6 +227,95 @@ func TestExchangeDeterminismNetworks(t *testing.T) {
 	}
 }
 
+// TestExchangeDeterminismPerturbed extends the pooling contract over
+// the fault-injection axis: under every perturbation schedule, pooled
+// and unpooled runs must produce identical virtual timelines and node
+// data, repeated runs must be bit-identical, and the node data must
+// match the sequential reference — perturbation prices time, it never
+// changes what is computed.
+func TestExchangeDeterminismPerturbed(t *testing.T) {
+	for _, spec := range ic2mpi.Perturbations() {
+		if spec == "none" {
+			continue // the static machine is the baseline suite above
+		}
+		for _, procs := range []int{4, 8} {
+			t.Run(spec+"/procs="+string(rune('0'+procs)), func(t *testing.T) {
+				base := heatConfig(t, procs)
+				model, err := ic2mpi.NewNetworkModel("hypercube", procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base.Network, err = ic2mpi.PerturbNetwork(model, spec, procs, base.Iterations)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base.CheckInvariants = true
+
+				plain := base
+				plain.ReuseBuffers = false
+				pooled := base
+				pooled.ReuseBuffers = true
+
+				resPlain, err := ic2mpi.Run(plain)
+				if err != nil {
+					t.Fatalf("unpooled run: %v", err)
+				}
+				resPooled, err := ic2mpi.Run(pooled)
+				if err != nil {
+					t.Fatalf("pooled run: %v", err)
+				}
+				if resPlain.Elapsed != resPooled.Elapsed {
+					t.Errorf("virtual time diverged: unpooled %v, pooled %v", resPlain.Elapsed, resPooled.Elapsed)
+				}
+				again, err := ic2mpi.Run(pooled)
+				if err != nil {
+					t.Fatalf("repeat run: %v", err)
+				}
+				if resPooled.Elapsed != again.Elapsed {
+					t.Errorf("perturbed run not repeatable: %v vs %v", resPooled.Elapsed, again.Elapsed)
+				}
+				// The perturbation must actually touch the timeline relative
+				// to the static machine, or the schedule is a no-op. CPU
+				// schedules stretch elapsed time; pure link degradation on a
+				// statically partitioned run can be absorbed into bottleneck
+				// slack (see the interconnect note in architecture.md), so
+				// for it a shift in some processor's idle time suffices.
+				static := base
+				static.Network = model
+				static.ReuseBuffers = true
+				resStatic, err := ic2mpi.Run(static)
+				if err != nil {
+					t.Fatalf("static run: %v", err)
+				}
+				if resPooled.Elapsed < resStatic.Elapsed {
+					t.Errorf("perturbed elapsed %v faster than static %v", resPooled.Elapsed, resStatic.Elapsed)
+				}
+				touched := resPooled.Elapsed > resStatic.Elapsed
+				for p := range resPooled.Stats {
+					if resPooled.Stats[p].IdleSeconds != resStatic.Stats[p].IdleSeconds {
+						touched = true
+					}
+				}
+				if !touched {
+					t.Errorf("schedule %s left the timeline identical to the static machine", spec)
+				}
+				want, err := ic2mpi.RunSequential(pooled)
+				if err != nil {
+					t.Fatalf("sequential reference: %v", err)
+				}
+				for v := range want {
+					if resPooled.FinalData[v] != want[v] {
+						t.Fatalf("node %d: pooled %v, sequential %v", v, resPooled.FinalData[v], want[v])
+					}
+					if resPlain.FinalData[v] != want[v] {
+						t.Fatalf("node %d: unpooled %v, sequential %v", v, resPlain.FinalData[v], want[v])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestExchangeDeterminismSubPhases covers the multi-sub-phase exchange
 // (battlefield-style SubPhases=2), where the parity-indexed pool must keep
 // sub-phase rounds from cross-matching.

@@ -50,6 +50,7 @@ import (
 	"io"
 
 	"ic2mpi/internal/balance"
+	"ic2mpi/internal/fault"
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
 	"ic2mpi/internal/netmodel"
@@ -101,6 +102,13 @@ type (
 	// CostModel is the LogGP base parameterization interconnect models
 	// scale per rank pair.
 	CostModel = netmodel.LogGP
+	// TimeVaryingModel extends NetworkModel for machines that evolve over
+	// the run in iteration epochs (fault injection).
+	TimeVaryingModel = netmodel.TimeVarying
+	// FaultSchedule is one deterministic perturbation plan: seeded
+	// per-processor brownouts, link degradation and a background-load
+	// ramp (see internal/fault).
+	FaultSchedule = fault.Schedule
 	// TraceRecorder collects per-iteration run telemetry when attached via
 	// Config.Trace: per-processor compute/communicate/idle time, message
 	// counters, task migrations, load imbalance and live edge-cut.
@@ -259,6 +267,38 @@ func UniformModel(base CostModel) NetworkModel { return netmodel.NewUniform(base
 // with per-processor Speed.
 func TopologyModel(net *Network, base CostModel) (NetworkModel, error) {
 	return netmodel.NewTopology(net, base)
+}
+
+// Deterministic fault injection.
+
+// Perturbations returns the named perturbation schedule specs
+// PerturbNetwork accepts ("none", "brownout", "links", "ramp", "chaos"),
+// each optionally suffixed "@<seed>" to reseed it.
+func Perturbations() []string { return fault.Names() }
+
+// ParsePerturbation resolves a perturbation spec to its schedule; "none"
+// and "" resolve to nil (no perturbation).
+func ParsePerturbation(spec string) (*FaultSchedule, error) { return fault.Parse(spec) }
+
+// PerturbNetwork wraps an interconnect model in the named deterministic
+// fault-injection schedule, bound to a run of iters iterations on procs
+// processors: per-processor speed brownouts, per-link degradation and a
+// background-load ramp, all pure functions of (seed, iteration, rank).
+// The spec "none" (or "") returns model unchanged.
+func PerturbNetwork(model NetworkModel, spec string, procs, iters int) (NetworkModel, error) {
+	sched, err := fault.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return model, nil
+	}
+	return fault.Wrap(model, sched, procs, iters)
+}
+
+// PerturbNetworkSchedule is PerturbNetwork for a hand-built schedule.
+func PerturbNetworkSchedule(model NetworkModel, s *FaultSchedule, procs, iters int) (NetworkModel, error) {
+	return fault.Wrap(model, s, procs, iters)
 }
 
 // Dynamic load balancing.

@@ -179,7 +179,7 @@ func figureCSV(cw *csv.Writer, f *Figure) error {
 // sweepCSV writes one record per sweep row with the full metric set.
 func sweepCSV(cw *csv.Writer, r *SweepReport) error {
 	header := []string{"scenario", "procs", "partitioner", "exchange", "buffers",
-		"balancer", "network", "iterations", "elapsed_s", "speedup", "edge_cut",
+		"balancer", "network", "perturb", "iterations", "elapsed_s", "speedup", "edge_cut",
 		"imbalance", "migrations", "messages_sent", "bytes_sent"}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -189,7 +189,7 @@ func sweepCSV(cw *csv.Writer, r *SweepReport) error {
 		rec := []string{
 			row.Result.Scenario,
 			strconv.Itoa(p.Procs), p.Partitioner, p.Exchange, p.Buffers,
-			p.Balancer, p.Network, strconv.Itoa(p.Iterations),
+			p.Balancer, p.Network, p.Perturb, strconv.Itoa(p.Iterations),
 			ftoa(row.Elapsed), ftoa(row.Speedup), strconv.Itoa(row.EdgeCut),
 			ftoa(row.Imbalance), strconv.Itoa(row.Migrations),
 			strconv.Itoa(row.MessagesSent), strconv.Itoa(row.BytesSent),

@@ -34,7 +34,8 @@ func fixedReports() []Report {
 					Scenario: "demo",
 					Params: scenario.Params{
 						Procs: 1, Partitioner: "metis", Exchange: "basic",
-						Buffers: "pooled", Balancer: "none", Network: "hypercube", Iterations: 5,
+						Buffers: "pooled", Balancer: "none", Network: "hypercube",
+						Perturb: "none", Iterations: 5,
 					},
 					Elapsed: 0.25, EdgeCut: 10, Imbalance: 1.125,
 					MessagesSent: 0, BytesSent: 0,
@@ -46,7 +47,8 @@ func fixedReports() []Report {
 					Scenario: "demo",
 					Params: scenario.Params{
 						Procs: 2, Partitioner: "metis", Exchange: "basic",
-						Buffers: "pooled", Balancer: "none", Network: "hypercube", Iterations: 5,
+						Buffers: "pooled", Balancer: "none", Network: "hypercube",
+						Perturb: "brownout@2", Iterations: 5,
 					},
 					Elapsed: 0.125, EdgeCut: 10, Imbalance: 1.125,
 					Migrations: 3, MessagesSent: 40, BytesSent: 640,

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPerturbedSweepParallelDeterministic is the fault-injection
+// acceptance gate for machine-readable sweeps: a sweep that crosses
+// perturbation schedules with balancers must encode to byte-identical
+// JSON whether runs execute sequentially or on the full worker pool —
+// perturbations are pure functions of (seed, iteration, rank), so
+// scheduling cannot leak into results. It also asserts the perturbed
+// rows actually diverge from the unperturbed ones, so the axis is not
+// silently a no-op.
+func TestPerturbedSweepParallelDeterministic(t *testing.T) {
+	sc := mustScenario("hex32-fine")
+	ax, err := ParseAxes("procs=2,4;iters=9;balancer=centralized;perturb=none,brownout,chaos@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(parallelism int) ([]byte, *SweepReport) {
+		old := Parallelism
+		Parallelism = parallelism
+		defer func() { Parallelism = old }()
+		rep, err := RunSweep(sc, ax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, "json", rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep
+	}
+	seq, rep := encode(1)
+	par, _ := encode(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("perturbed sweep JSON differs between -parallel 1 and -parallel 8:\n%s\n---\n%s", seq, par)
+	}
+	elapsed := map[string]map[int]float64{}
+	for _, row := range rep.Rows {
+		if elapsed[row.Params.Perturb] == nil {
+			elapsed[row.Params.Perturb] = map[int]float64{}
+		}
+		elapsed[row.Params.Perturb][row.Params.Procs] = row.Elapsed
+	}
+	for _, spec := range []string{"brownout", "chaos@3"} {
+		diverged := false
+		for procs, base := range elapsed["none"] {
+			if elapsed[spec][procs] != base {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("perturb=%s rows identical to perturb=none at every processor count", spec)
+		}
+	}
+}
+
+// TestAxesPerturbSingle pins the single-combination path -trace uses:
+// a one-value perturb axis flows into Params.Perturb.
+func TestAxesPerturbSingle(t *testing.T) {
+	ax, err := ParseAxes("procs=4;perturb=brownout@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ax.Single()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perturb != "brownout@7" || p.Procs != 4 {
+		t.Errorf("Single() = %+v", p)
+	}
+	multi, err := ParseAxes("perturb=none,brownout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multi.Single(); err == nil {
+		t.Error("multi-value perturb axis accepted as single combination")
+	}
+}

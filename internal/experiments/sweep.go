@@ -11,8 +11,9 @@ import (
 
 // The generic sweep engine: a cartesian sweep of one scenario over the
 // platform's configuration axes (processor count, static partitioner,
-// exchange mode, buffer pooling, dynamic balancer, iteration count),
-// producing a machine-readable SweepReport. The paper's tables and
+// exchange mode, buffer pooling, dynamic balancer, interconnect model,
+// fault-injection schedule, iteration count), producing a
+// machine-readable SweepReport. The paper's tables and
 // figures are special cases of this engine; `cmd/experiments -scenario`
 // exposes it directly.
 
@@ -35,6 +36,9 @@ type Axes struct {
 	// Networks is the interconnect-model axis (netmodel.Names names the
 	// accepted values).
 	Networks []string `json:"networks"`
+	// Perturbs is the fault-injection axis (fault.Names names the
+	// accepted schedule specs, each optionally suffixed "@<seed>").
+	Perturbs []string `json:"perturbs"`
 	// Iterations is the iteration-count axis.
 	Iterations []int `json:"iterations"`
 }
@@ -49,6 +53,7 @@ func DefaultAxes() Axes {
 		Buffers:      []string{""},
 		Balancers:    []string{""},
 		Networks:     []string{""},
+		Perturbs:     []string{""},
 		Iterations:   []int{0},
 	}
 }
@@ -73,6 +78,9 @@ func (ax Axes) normalize() Axes {
 	if len(ax.Networks) == 0 {
 		ax.Networks = []string{""}
 	}
+	if len(ax.Perturbs) == 0 {
+		ax.Perturbs = []string{""}
+	}
 	if len(ax.Iterations) == 0 {
 		ax.Iterations = []int{0}
 	}
@@ -83,7 +91,8 @@ func (ax Axes) normalize() Axes {
 func (ax Axes) Size() int {
 	ax = ax.normalize()
 	return len(ax.Procs) * len(ax.Partitioners) * len(ax.Exchanges) *
-		len(ax.Buffers) * len(ax.Balancers) * len(ax.Networks) * len(ax.Iterations)
+		len(ax.Buffers) * len(ax.Balancers) * len(ax.Networks) *
+		len(ax.Perturbs) * len(ax.Iterations)
 }
 
 // ParseAxes parses a sweep specification of semicolon-separated
@@ -92,8 +101,8 @@ func (ax Axes) Size() int {
 //	procs=1,2,4,8;partitioner=metis,pagrid;network=uniform,hypercube
 //
 // Accepted axis names: procs, partitioner, exchange, buffers, balancer,
-// network, iters (singular and plural forms both work). Unspecified axes
-// stay at the scenario's default.
+// network, perturb, iters (singular and plural forms both work).
+// Unspecified axes stay at the scenario's default.
 func ParseAxes(spec string) (Axes, error) {
 	ax := Axes{}
 	if strings.TrimSpace(spec) == "" {
@@ -144,8 +153,10 @@ func ParseAxes(spec string) (Axes, error) {
 			ax.Balancers = vals
 		case "network", "networks":
 			ax.Networks = vals
+		case "perturb", "perturbs":
+			ax.Perturbs = vals
 		default:
-			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, network, iters)", key)
+			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, network, perturb, iters)", key)
 		}
 	}
 	return ax, nil
@@ -161,7 +172,8 @@ type SweepRow struct {
 
 // SweepReport is the machine-readable result of one sweep, ordered
 // deterministically: iterations, partitioner, exchange, buffers,
-// balancer, network, then processor count, each in axis order.
+// balancer, network, perturbation, then processor count, each in axis
+// order.
 type SweepReport struct {
 	// ID is the report identifier ("sweep-<scenario>").
 	ID string `json:"id"`
@@ -182,7 +194,7 @@ func (ax Axes) Single() (scenario.Params, error) {
 	var p scenario.Params
 	if len(ax.Procs) > 1 || len(ax.Partitioners) > 1 || len(ax.Exchanges) > 1 ||
 		len(ax.Buffers) > 1 || len(ax.Balancers) > 1 || len(ax.Networks) > 1 ||
-		len(ax.Iterations) > 1 {
+		len(ax.Perturbs) > 1 || len(ax.Iterations) > 1 {
 		return p, fmt.Errorf("experiments: expected a single parameter combination, got a %d-run sweep", ax.Size())
 	}
 	if len(ax.Procs) == 1 {
@@ -202,6 +214,9 @@ func (ax Axes) Single() (scenario.Params, error) {
 	}
 	if len(ax.Networks) == 1 {
 		p.Network = ax.Networks[0]
+	}
+	if len(ax.Perturbs) == 1 {
+		p.Perturb = ax.Perturbs[0]
 	}
 	if len(ax.Iterations) == 1 {
 		p.Iterations = ax.Iterations[0]
@@ -252,16 +267,19 @@ func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 				for _, buf := range ax.Buffers {
 					for _, bal := range ax.Balancers {
 						for _, netw := range ax.Networks {
-							for _, procs := range ax.Procs {
-								params = append(params, scenario.Params{
-									Procs:       procs,
-									Partitioner: part,
-									Exchange:    ex,
-									Buffers:     buf,
-									Balancer:    bal,
-									Network:     netw,
-									Iterations:  iters,
-								})
+							for _, pert := range ax.Perturbs {
+								for _, procs := range ax.Procs {
+									params = append(params, scenario.Params{
+										Procs:       procs,
+										Partitioner: part,
+										Exchange:    ex,
+										Buffers:     buf,
+										Balancer:    bal,
+										Network:     netw,
+										Perturb:     pert,
+										Iterations:  iters,
+									})
+								}
 							}
 						}
 					}
@@ -300,13 +318,13 @@ func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 func (r *SweepReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", r.ID, r.Title)
-	fmt.Fprintf(&b, "%6s %12s %8s %9s %19s %9s %6s %12s %8s %9s %11s %9s\n",
-		"procs", "partitioner", "exchange", "buffers", "balancer", "network", "iters",
+	fmt.Fprintf(&b, "%6s %12s %8s %9s %19s %9s %10s %6s %12s %8s %9s %11s %9s\n",
+		"procs", "partitioner", "exchange", "buffers", "balancer", "network", "perturb", "iters",
 		"elapsed_s", "speedup", "edge_cut", "migrations", "msgs")
 	for _, row := range r.Rows {
 		p := row.Params
-		fmt.Fprintf(&b, "%6d %12s %8s %9s %19s %9s %6d %12.4f %8.2f %9d %11d %9d\n",
-			p.Procs, p.Partitioner, p.Exchange, p.Buffers, p.Balancer, p.Network, p.Iterations,
+		fmt.Fprintf(&b, "%6d %12s %8s %9s %19s %9s %10s %6d %12.4f %8.2f %9d %11d %9d\n",
+			p.Procs, p.Partitioner, p.Exchange, p.Buffers, p.Balancer, p.Network, p.Perturb, p.Iterations,
 			row.Elapsed, row.Speedup, row.EdgeCut, row.Migrations, row.MessagesSent)
 	}
 	if r.Notes != "" {

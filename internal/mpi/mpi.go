@@ -48,9 +48,14 @@ type World struct {
 	flat         bool
 	flatLatency  float64
 	flatByteTime float64
-	boxes        []*mailbox
-	bar          *barrier
-	start        time.Time
+	// tv is non-nil when the cost model evolves over epochs
+	// (netmodel.TimeVarying): receives re-price arrival at the message's
+	// send epoch and SetEpoch refreshes cached per-rank overheads. nil
+	// for static models, keeping their receive path untouched.
+	tv    netmodel.TimeVarying
+	boxes []*mailbox
+	bar   *barrier
+	start time.Time
 	// failFlag is the lock-free fast path for "has any rank failed":
 	// receive loops poll it on every wakeup, so it must not require
 	// taking failMu (which would nest inside the mailbox lock).
@@ -65,6 +70,10 @@ type message struct {
 	payload  any
 	bytes    int
 	sentAt   float64 // sender virtual clock when Isend returned
+	// epoch is the sender's epoch when the message was injected; a
+	// time-varying cost model prices the wire at these conditions. Always
+	// 0 for static models.
+	epoch int
 }
 
 // mailbox is the per-rank receive queue. Senders append under mu; the
@@ -165,8 +174,12 @@ type Comm struct {
 	clock vtime.Clock
 	// sendOverhead/recvOverhead cache the cost model's per-rank message
 	// overheads so the per-message paths make no interface calls for them.
+	// SetEpoch refreshes them when the cost model is time-varying.
 	sendOverhead float64
 	recvOverhead float64
+	// epoch is this rank's current epoch (0 until SetEpoch is called);
+	// outgoing messages are stamped with it.
+	epoch int
 	// sent/received count operations, exposed in Stats for tests.
 	sent, received int
 	bytesSent      int
@@ -226,6 +239,9 @@ func Run(opts Options, fn func(c *Comm) error) error {
 		w.flat = true
 		w.flatLatency = u.Base.Latency
 		w.flatByteTime = u.Base.ByteTime
+	}
+	if tv, ok := cost.(netmodel.TimeVarying); ok {
+		w.tv = tv
 	}
 	w.boxes = make([]*mailbox, opts.Procs)
 	for i := range w.boxes {
@@ -306,6 +322,21 @@ func (c *Comm) Wtime() float64 {
 	return c.clock.Now()
 }
 
+// SetEpoch advances this rank's epoch: outgoing messages are stamped
+// with it, and when the world's cost model is time-varying
+// (netmodel.TimeVarying) the cached per-rank send/receive overheads are
+// refreshed to the epoch's conditions. The platform calls it at
+// iteration boundaries; for static cost models only the stamp changes,
+// which nothing reads. Must be called from the owning rank's goroutine,
+// like every Comm method.
+func (c *Comm) SetEpoch(epoch int) {
+	c.epoch = epoch
+	if tv := c.world.tv; tv != nil {
+		c.sendOverhead = tv.SendOverheadAt(epoch, c.rank)
+		c.recvOverhead = tv.RecvOverheadAt(epoch, c.rank)
+	}
+}
+
 // Charge accounts d seconds of local computation to this rank. In
 // VirtualClock mode the rank's clock advances; in RealClock mode the call
 // busy-waits for d to elapse, mimicking the thesis' dummy grain loops.
@@ -339,7 +370,7 @@ func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
 		return fmt.Errorf("mpi: Isend negative byte count %d", bytes)
 	}
 	c.clock.Advance(c.sendOverhead)
-	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now()}
+	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now(), epoch: c.epoch}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
 	box.pending = append(box.pending, box.get(m))
@@ -395,12 +426,18 @@ func (c *Comm) completeRecv(m message) {
 		// sentAt already includes the sender's SendOverhead charge; the
 		// model prices the wire portion per (src, dst) pair.
 		var arrival float64
-		if c.world.flat {
+		switch {
+		case c.world.flat:
 			// Sum the wire term first — same float association as
 			// netmodel.Uniform.ArrivalTime, which this path devirtualizes.
 			wire := c.world.flatLatency + float64(m.bytes)*c.world.flatByteTime
 			arrival = m.sentAt + wire
-		} else {
+		case c.world.tv != nil:
+			// A time-varying machine prices the wire at the conditions of
+			// the sender's epoch when the message was injected, so pricing
+			// is a pure function of the message, not of receiver progress.
+			arrival = c.world.tv.ArrivalTimeAt(m.epoch, m.src, c.rank, m.sentAt, m.bytes)
+		default:
 			arrival = c.world.cost.ArrivalTime(m.src, c.rank, m.sentAt, m.bytes)
 		}
 		if now := c.clock.Now(); arrival > now {

@@ -96,6 +96,30 @@ type Model interface {
 	String() string
 }
 
+// TimeVarying extends Model for machines whose behavior evolves over the
+// run in discrete epochs. An epoch is a platform iteration (1-based);
+// epoch 0 is the initialization phase, where every *At method must equal
+// the corresponding static Model method. The mpi runtime stamps each
+// message with the sender's epoch at send time and prices its arrival
+// with ArrivalTimeAt; the platform advances a rank's epoch at iteration
+// boundaries and refreshes the rank's effective speed from SpeedAt.
+//
+// Implementations must keep every method a pure function of its
+// arguments — same determinism contract as Model, extended by the epoch
+// dimension — and must not allocate on the ArrivalTimeAt path, which
+// runs per message. internal/fault provides the shipped implementation.
+type TimeVarying interface {
+	Model
+	// ArrivalTimeAt is ArrivalTime under the conditions of epoch.
+	ArrivalTimeAt(epoch, src, dst int, sendStart float64, nbytes int) float64
+	// SendOverheadAt is SendOverhead under the conditions of epoch.
+	SendOverheadAt(epoch, rank int) float64
+	// RecvOverheadAt is RecvOverhead under the conditions of epoch.
+	RecvOverheadAt(epoch, rank int) float64
+	// SpeedAt is Speed under the conditions of epoch.
+	SpeedAt(epoch, rank int) float64
+}
+
 // Uniform is the flat crossbar model: every rank pair pays the same
 // LogGP cost, exactly the seed system's behavior. The mpi runtime
 // devirtualizes this model into a branch-free fast path, so a uniform

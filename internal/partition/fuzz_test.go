@@ -1,0 +1,54 @@
+package partition
+
+import (
+	"testing"
+
+	"ic2mpi/internal/graph"
+)
+
+// FuzzPartitionValidate pins Validate's robustness contract: the
+// platform trusts every partitioner plug-in's output only after
+// Validate, so arbitrary assignment slices against arbitrary processor
+// counts must either validate cleanly or error — never panic, and never
+// accept an illegal assignment. Each fuzz byte is decoded as a signed
+// owner so negative owners are covered. Seed corpus in testdata/fuzz.
+func FuzzPartitionValidate(f *testing.F) {
+	g, err := graph.HexGrid(4, 4) // 16 vertices
+	if err != nil {
+		f.Fatal(err)
+	}
+	n := g.NumVertices()
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}, 4)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 1)
+	f.Add([]byte{}, 4)
+	f.Add([]byte{1, 2, 3}, 4)              // wrong length
+	f.Add([]byte{255, 0, 0, 0}, 2)         // negative owner (int8 -1)
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9}, 4)  // owner out of range
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6}, -1) // non-positive k
+	f.Add([]byte{0, 1}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		part := make([]int, len(data))
+		for i, b := range data {
+			part[i] = int(int8(b))
+		}
+		err := Validate(g, part, k)
+		if err == nil {
+			// Acceptance must imply a legal assignment.
+			if k < 1 {
+				t.Fatalf("Validate accepted k=%d", k)
+			}
+			if len(part) != n {
+				t.Fatalf("Validate accepted %d entries for %d vertices", len(part), n)
+			}
+			for v, p := range part {
+				if p < 0 || p >= k {
+					t.Fatalf("Validate accepted node %d owned by %d outside [0,%d)", v, p, k)
+				}
+			}
+			// A valid partition must also evaluate without error.
+			if _, err := Evaluate(g, part, k); err != nil {
+				t.Fatalf("valid partition failed Evaluate: %v", err)
+			}
+		}
+	})
+}

@@ -5,7 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ic2mpi/internal/fault"
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/netmodel"
 )
 
 // scriptedBalancer replays fixed plans, one per invocation.
@@ -202,6 +204,46 @@ func TestInvalidPlansRejected(t *testing.T) {
 		cfg.Balancer = &scriptedBalancer{plans: [][]Pair{plan}}
 		if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "invalid plan") {
 			t.Errorf("%s: want invalid-plan error, got %v", name, err)
+		}
+	}
+}
+
+// TestInvalidPlansRejectedUnderPerturbation is the regression guard for
+// the epoch plumbing: a misbehaving balancer — in particular one whose
+// plan references out-of-range ranks — must be rejected identically
+// when the balancing point falls inside a brownout window (iters=4
+// defaults the window to [2,3), exactly the BalanceEvery=2 invocation),
+// and the rejection path's empty-plan broadcast must unwind cleanly on
+// a machine whose overheads are being re-priced per epoch.
+func TestInvalidPlansRejectedUnderPerturbation(t *testing.T) {
+	g := hexGrid(t, 4, 8)
+	cases := map[string][]Pair{
+		"out of range":      {{Busy: 0, Idle: 9}},
+		"far out of range":  {{Busy: 0, Idle: 1 << 20}},
+		"negative busy":     {{Busy: -1, Idle: 0}},
+		"both out of range": {{Busy: 7, Idle: 12}},
+	}
+	for _, spec := range []string{"brownout", "chaos"} {
+		sched, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, plan := range cases {
+			cfg := baseConfig(g, 4)
+			cfg.Iterations = 4
+			cfg.BalanceEvery = 2
+			cfg.Balancer = &scriptedBalancer{plans: [][]Pair{plan}}
+			base, err := netmodel.New(netmodel.NameHypercube, cfg.Procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Network, err = fault.Wrap(base, sched, cfg.Procs, cfg.Iterations)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "invalid plan") {
+				t.Errorf("%s/%s: want invalid-plan error, got %v", spec, name, err)
+			}
 		}
 	}
 }

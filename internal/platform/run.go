@@ -6,6 +6,7 @@ import (
 
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/mpi"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/trace"
 )
 
@@ -32,6 +33,13 @@ func Run(cfg Config) (*Result, error) {
 	var mu sync.Mutex
 	elapsed := make([]float64, c.Procs)
 
+	// A time-varying machine (fault injection) evolves per iteration: each
+	// rank advances its epoch at the iteration boundary so the runtime
+	// re-prices overheads and arrivals, and the rank's effective speed is
+	// refreshed. tv stays nil for static machines, costing one branch per
+	// iteration.
+	tv, _ := c.Network.(netmodel.TimeVarying)
+
 	opts := mpi.Options{Procs: c.Procs, Cost: c.Network, Mode: c.Mode}
 	runErr := mpi.Run(opts, func(comm *mpi.Comm) error {
 		if err := comm.Barrier(); err != nil {
@@ -52,6 +60,10 @@ func Run(cfg Config) (*Result, error) {
 			prevStats = comm.Stats()
 		}
 		for iter := 1; iter <= c.Iterations; iter++ {
+			if tv != nil {
+				comm.SetEpoch(iter)
+				st.speed = tv.SpeedAt(iter, st.me)
+			}
 			computeBefore := st.phase[PhaseCompute]
 			for sub := 0; sub < c.SubPhases; sub++ {
 				if err := st.computeAndCommunicate(iter, sub); err != nil {
@@ -73,18 +85,27 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if c.Trace != nil {
 				stats := comm.Stats()
+				// On a time-varying machine the sample also carries the
+				// processor's effective speed this iteration; 0 (omitted
+				// from encodings) on static machines.
+				var speedFactor float64
+				if tv != nil {
+					speedFactor = st.speed
+				}
 				c.Trace.RecordSample(trace.Sample{
-					Iter:      iter,
-					Proc:      st.me,
-					ComputeS:  st.phase[PhaseCompute] - prevPhase[PhaseCompute],
-					OverheadS: (st.phase[PhaseComputeOverhead] - prevPhase[PhaseComputeOverhead]) + (st.phase[PhaseCommOverhead] - prevPhase[PhaseCommOverhead]),
-					CommS:     st.phase[PhaseCommunicate] - prevPhase[PhaseCommunicate],
-					IdleS:     stats.IdleSeconds - prevStats.IdleSeconds,
-					BalanceS:  st.phase[PhaseLoadBalance] - prevPhase[PhaseLoadBalance],
-					MsgsSent:  stats.MessagesSent - prevStats.MessagesSent,
-					MsgsRecv:  stats.MessagesReceived - prevStats.MessagesReceived,
-					BytesSent: stats.BytesSent - prevStats.BytesSent,
-					BytesRecv: stats.BytesReceived - prevStats.BytesReceived,
+					Iter:        iter,
+					Proc:        st.me,
+					ComputeS:    st.phase[PhaseCompute] - prevPhase[PhaseCompute],
+					OverheadS:   (st.phase[PhaseComputeOverhead] - prevPhase[PhaseComputeOverhead]) + (st.phase[PhaseCommOverhead] - prevPhase[PhaseCommOverhead]),
+					CommS:       st.phase[PhaseCommunicate] - prevPhase[PhaseCommunicate],
+					IdleS:       stats.IdleSeconds - prevStats.IdleSeconds,
+					BalanceS:    st.phase[PhaseLoadBalance] - prevPhase[PhaseLoadBalance],
+					MsgsSent:    stats.MessagesSent - prevStats.MessagesSent,
+					MsgsRecv:    stats.MessagesReceived - prevStats.MessagesReceived,
+					BytesSent:   stats.BytesSent - prevStats.BytesSent,
+					BytesRecv:   stats.BytesReceived - prevStats.BytesReceived,
+					SpeedFactor: speedFactor,
+					WallS:       comm.Wtime(),
 				})
 				prevPhase = st.phase
 				prevStats = stats

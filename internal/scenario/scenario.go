@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ic2mpi/internal/balance"
+	"ic2mpi/internal/fault"
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/partition"
@@ -55,6 +56,13 @@ type Params struct {
 	// (serialized as ""): pagerank-bsp charges computation but ships
 	// h-relations for free unless a model is named explicitly.
 	Network string `json:"network"`
+	// Perturb names the deterministic fault-injection schedule applied to
+	// the run's machine; see fault.Names for the accepted specs ("none",
+	// "brownout", "links", "ramp", "chaos", each optionally suffixed
+	// "@<seed>"). "none" — the default — runs the static machine, with
+	// the exact pre-fault-injection timeline. Custom-runner scenarios do
+	// not support perturbation.
+	Perturb string `json:"perturb"`
 	// Iterations is the number of outer iterations (time steps).
 	Iterations int `json:"iterations"`
 	// BalanceEvery is the balancing period in iterations.
@@ -167,6 +175,17 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 	if p.Network != "" && !knownNetwork(p.Network) {
 		return p, fmt.Errorf("scenario %s: unknown network %q (known: %v)", sc.Name, p.Network, netmodel.Names())
 	}
+	if p.Perturb == "" {
+		if p.Perturb = def.Perturb; p.Perturb == "" {
+			p.Perturb = fault.NameNone
+		}
+	}
+	if _, err := fault.Parse(p.Perturb); err != nil {
+		return p, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if sc.Runner != nil && p.Perturb != fault.NameNone {
+		return p, fmt.Errorf("scenario %s: custom runner does not support perturbation %q", sc.Name, p.Perturb)
+	}
 	if p.Iterations == 0 {
 		if p.Iterations = def.Iterations; p.Iterations == 0 {
 			p.Iterations = sc.Iterations
@@ -193,7 +212,8 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 
 // Config builds the platform configuration for one run of the scenario at
 // the given parameters: graph generated, partition computed, and the
-// named interconnect model (Origin 2000 base costs) attached. Callers
+// named interconnect model (Origin 2000 base costs) attached — wrapped
+// in the Perturb fault-injection schedule when one is named. Callers
 // that need final node data (examples verifying against the sequential
 // reference) flip SkipFinalGather off before platform.Run. Scenarios with
 // a custom Runner have no platform configuration and return an error.
@@ -217,6 +237,19 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fault injection wraps the machine only after partitioning: the
+	// static partitioner targets the undegraded machine (it cannot know
+	// the future), which is also what keeps PaGrid's network-graph
+	// unwrapping working.
+	runNet := net
+	if sched, err := fault.Parse(p.Perturb); err != nil {
+		return nil, err
+	} else if sched != nil {
+		runNet, err = fault.Wrap(net, sched, p.Procs, p.Iterations)
+		if err != nil {
+			return nil, err
+		}
+	}
 	bal, err := NewBalancer(p.Balancer)
 	if err != nil {
 		return nil, err
@@ -238,7 +271,7 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 		BalanceEvery:     p.BalanceEvery,
 		BalanceRounds:    p.BalanceRounds,
 		Overheads:        platform.DefaultOverheads(),
-		Network:          net,
+		Network:          runNet,
 		SkipFinalGather:  true,
 		Trace:            p.Trace,
 	}, nil

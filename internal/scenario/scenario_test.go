@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/platform"
 )
 
@@ -156,6 +157,48 @@ func TestNormalizeRejectsBadModes(t *testing.T) {
 	}
 	if _, err := sc.Run(Params{Procs: 2, Partitioner: "sharpie"}); err == nil {
 		t.Error("bad partitioner accepted")
+	}
+	if _, err := sc.Run(Params{Procs: 2, Perturb: "earthquake"}); err == nil {
+		t.Error("bad perturbation schedule accepted")
+	}
+	if _, err := sc.Run(Params{Procs: 2, Perturb: "brownout@x"}); err == nil {
+		t.Error("bad perturbation seed accepted")
+	}
+}
+
+// TestPerturbNormalization pins the Perturb knob's normalization: the
+// default is the explicit "none" (so serialized reports always name the
+// schedule), a named schedule wraps the platform config's machine in a
+// fault model, and custom-runner scenarios reject perturbation.
+func TestPerturbNormalization(t *testing.T) {
+	sc, _ := Lookup("hex64-fine")
+	p, err := sc.normalize(Params{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perturb != "none" {
+		t.Errorf("default perturb = %q, want none", p.Perturb)
+	}
+	cfg, err := sc.Config(Params{Procs: 4, Perturb: "brownout"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg.Network.(netmodel.TimeVarying); !ok {
+		t.Errorf("perturbed config network %T is not time-varying", cfg.Network)
+	}
+	static, err := sc.Config(Params{Procs: 4, Perturb: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := static.Network.(netmodel.TimeVarying); ok {
+		t.Errorf("unperturbed config network %T is time-varying; the wrapper must be absent", static.Network)
+	}
+	bsp, _ := Lookup("pagerank-bsp")
+	if _, err := bsp.Run(Params{Procs: 4, Perturb: "brownout"}); err == nil {
+		t.Error("custom-runner scenario accepted a perturbation")
+	}
+	if _, err := bsp.Run(Params{Procs: 4, Iterations: 3}); err != nil {
+		t.Errorf("custom-runner scenario rejected the default perturb: %v", err)
 	}
 }
 

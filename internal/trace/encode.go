@@ -79,7 +79,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func WriteCSV(w io.Writer, r *Recorder) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"iter", "proc", "compute_s", "overhead_s", "comm_s",
-		"idle_s", "balance_s", "msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv"}); err != nil {
+		"idle_s", "balance_s", "msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv", "speed_factor"}); err != nil {
 		return err
 	}
 	for _, s := range r.samples {
@@ -88,6 +88,7 @@ func WriteCSV(w io.Writer, r *Recorder) error {
 			ftoa(s.ComputeS), ftoa(s.OverheadS), ftoa(s.CommS), ftoa(s.IdleS), ftoa(s.BalanceS),
 			strconv.Itoa(s.MsgsSent), strconv.Itoa(s.MsgsRecv),
 			strconv.Itoa(s.BytesSent), strconv.Itoa(s.BytesRecv),
+			ftoa(s.SpeedFactor),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -23,13 +23,18 @@ var update = flag.Bool("update", false, "rewrite golden trace files")
 // heatTrace runs the heat scenario (4 procs, 12 iterations) with the
 // given buffer mode and interconnect model and returns its JSONL trace.
 func heatTrace(t *testing.T, buffers, network string) []byte {
+	return heatTracePerturbed(t, buffers, network, "")
+}
+
+// heatTracePerturbed is heatTrace with a fault-injection schedule.
+func heatTracePerturbed(t *testing.T, buffers, network, perturb string) []byte {
 	t.Helper()
 	sc, err := scenario.Get("heat")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rec := &trace.Recorder{}
-	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Network: network, Trace: rec}); err != nil {
+	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Network: network, Perturb: perturb, Trace: rec}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -70,6 +75,43 @@ func TestGoldenHeatTrace(t *testing.T) {
 	// refactor.
 	if hyper := heatTrace(t, scenario.BuffersPooled, "hypercube"); !bytes.Equal(got, hyper) {
 		t.Error("explicit hypercube differs from the scenario default")
+	}
+}
+
+// TestGoldenHeatTraceBrownout extends the golden-trace contract to a
+// perturbed machine: the canonical mid-run brownout (one seed-chosen
+// processor 3x slower for the middle third of the run) must produce a
+// byte-identical trace across repeats and with the buffer pool on or
+// off, pinned against a checked-in golden. The trace must visibly
+// differ from the unperturbed one (samples carry speed_factor and the
+// browned-out iterations stretch), or the fault layer did nothing.
+func TestGoldenHeatTraceBrownout(t *testing.T) {
+	golden := filepath.Join("testdata", "heat-4proc-12iter-brownout.jsonl")
+	got := heatTracePerturbed(t, scenario.BuffersPooled, "", "brownout")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace diverged from %s (%d vs %d bytes); regenerate with -update if the change is intended",
+			golden, len(got), len(want))
+	}
+	if again := heatTracePerturbed(t, scenario.BuffersPooled, "", "brownout"); !bytes.Equal(got, again) {
+		t.Error("perturbed trace differs between two identical runs")
+	}
+	if unpooled := heatTracePerturbed(t, scenario.BuffersUnpooled, "", "brownout"); !bytes.Equal(got, unpooled) {
+		t.Error("perturbed trace differs between pooled and unpooled runs")
+	}
+	if static := heatTrace(t, scenario.BuffersPooled, ""); bytes.Equal(got, static) {
+		t.Error("brownout trace is identical to the unperturbed trace; fault injection had no effect")
+	}
+	if !bytes.Contains(got, []byte(`"speed_factor":`)) {
+		t.Error("brownout trace carries no speed_factor fields")
 	}
 }
 

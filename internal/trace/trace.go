@@ -52,6 +52,20 @@ type Sample struct {
 	// BytesSent and BytesRecv count payload bytes this iteration.
 	BytesSent int `json:"bytes_sent"`
 	BytesRecv int `json:"bytes_recv"`
+	// SpeedFactor is the processor's effective execution-time multiplier
+	// this iteration on a time-varying (perturbed) machine: the base
+	// machine speed times any active perturbation (see internal/fault).
+	// It is 0 when the run's machine is static; JSONL omits the field
+	// then, which keeps unperturbed JSONL traces — including the pinned
+	// goldens — byte-identical to builds that predate fault injection.
+	// CSV always carries its speed_factor column.
+	SpeedFactor float64 `json:"speed_factor,omitempty"`
+	// WallS is the processor's virtual clock at this iteration's sample
+	// point. It exists for the invariant test harness (per-iteration
+	// wall-clock deltas must equal the sum of the phase deltas) and is
+	// excluded from encodings: the phase deltas already carry the
+	// information, and pinned traces stay stable.
+	WallS float64 `json:"-"`
 }
 
 // Migration is one executed task migration.
