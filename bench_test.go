@@ -117,23 +117,22 @@ func BenchmarkScenarioLife(b *testing.B)        { benchScenario(b, "life", 8) }
 func BenchmarkScenarioSSSP(b *testing.B)        { benchScenario(b, "sssp", 8) }
 func BenchmarkScenarioPageRankBSP(b *testing.B) { benchScenario(b, "pagerank-bsp", 8) }
 
-// benchExchange measures the exchange-heavy steady state: the heat
-// example's 16x16 hex mesh with a cheap grain, so shadow packing,
-// messaging and unpacking dominate each iteration. Allocation counters
-// (-benchmem) are the headline: with ReuseBuffers the per-iteration
-// compute/communicate round reuses pooled send buffers and neighbor
-// lists instead of allocating fresh ones.
-func benchExchange(b *testing.B, procs int, reuse bool) {
-	b.Helper()
+// exchangeConfig builds the exchange-heavy steady-state workload shared
+// by the BenchmarkExchange* family and the pinned-allocation guard in
+// kernel_bench_test.go: the heat example's 16x16 hex mesh with a cheap
+// grain, so shadow packing, messaging and unpacking dominate each
+// iteration.
+func exchangeConfig(tb testing.TB, procs int, reuse bool) ic2mpi.Config {
+	tb.Helper()
 	g, err := ic2mpi.HexGrid(16, 16)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	part, err := ic2mpi.NewMetis(7).Partition(g, nil, procs)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	cfg := ic2mpi.Config{
+	return ic2mpi.Config{
 		Graph:            g,
 		Procs:            procs,
 		InitialPartition: part,
@@ -143,6 +142,15 @@ func benchExchange(b *testing.B, procs int, reuse bool) {
 		SkipFinalGather:  true,
 		ReuseBuffers:     reuse,
 	}
+}
+
+// benchExchange measures the exchange-heavy steady state. Allocation
+// counters (-benchmem) are the headline: with ReuseBuffers the
+// per-iteration compute/communicate round reuses pooled send buffers and
+// neighbor lists instead of allocating fresh ones.
+func benchExchange(b *testing.B, procs int, reuse bool) {
+	b.Helper()
+	cfg := exchangeConfig(b, procs, reuse)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

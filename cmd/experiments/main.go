@@ -11,6 +11,7 @@
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8;partitioner=metis,pagrid"
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8,16" -network hypercube,mesh2d
 //	experiments -scenario hex64-fine -sweep "procs=8;balancer=none,centralized" -perturb none,brownout
+//	experiments -scenario hex64-fine -sweep "procs=4096" -kernel event
 //	experiments -scenario heat -format json > heat.json
 //	experiments -scenario heat -sweep "procs=4" -trace heat.jsonl
 //
@@ -18,9 +19,10 @@
 // over the axes procs, partitioner, exchange (basic|overlap), buffers
 // (pooled|unpooled), balancer (none|centralized|centralized-strict|
 // diffusion), network (uniform|hypercube|mesh2d|fattree|hetgrid),
-// perturb (none|brownout|links|ramp|chaos, each optionally @<seed>) and
-// iters; unspecified axes stay at the scenario's default. -network and
-// -perturb are shorthand for the network and perturb axes.
+// perturb (none|brownout|links|ramp|chaos, each optionally @<seed>),
+// kernel (goroutine|event) and iters; unspecified axes stay at the
+// scenario's default. -network, -perturb and -kernel are shorthand for
+// the network, perturb and kernel axes.
 //
 // Sweep runs execute concurrently on -parallel workers (default: number
 // of CPUs). Output order — and output bytes — are independent of the
@@ -60,6 +62,7 @@ func main() {
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
 	network := flag.String("network", "", `interconnect models to sweep, comma-separated (shorthand for the network axis), e.g. "hypercube,mesh2d"`)
 	perturb := flag.String("perturb", "", `fault-injection schedules to sweep, comma-separated (shorthand for the perturb axis), e.g. "none,brownout,chaos@3"`)
+	kernel := flag.String("kernel", "", `mpi execution kernels to sweep, comma-separated (shorthand for the kernel axis), e.g. "goroutine,event"`)
 	parallel := flag.Int("parallel", 0, "concurrent sweep runs; 0 means number of CPUs")
 	format := flag.String("format", "text", "output format: text, json or csv")
 	tracePath := flag.String("trace", "", `write a per-iteration trace of one -scenario run: JSONL, CSV when the path ends in .csv, or "-" for JSONL on stdout`)
@@ -122,6 +125,8 @@ func main() {
 		log.Fatal("-network requires -scenario (see -list for scenario names)")
 	case *perturb != "":
 		log.Fatal("-perturb requires -scenario (see -list for scenario names)")
+	case *kernel != "":
+		log.Fatal("-kernel requires -scenario (see -list for scenario names)")
 	default:
 		ids := experiments.IDs()
 		if *run != "" {
@@ -152,7 +157,8 @@ func main() {
 }
 
 // applyAxisFlag merges a comma-separated shorthand flag (-network,
-// -perturb) into its sweep axis; naming the axis both ways is an error.
+// -perturb, -kernel) into its sweep axis; naming the axis both ways is an
+// error.
 func applyAxisFlag(val, name string, axis *[]string) {
 	if val == "" {
 		return

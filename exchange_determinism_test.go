@@ -7,10 +7,16 @@ package ic2mpi_test
 // memory, it must never change what is computed or when.
 
 import (
+	"bytes"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"ic2mpi"
 	"ic2mpi/internal/balance"
+	"ic2mpi/internal/fault"
+	"ic2mpi/internal/scenario"
+	"ic2mpi/internal/trace"
 	"ic2mpi/internal/workload"
 )
 
@@ -346,5 +352,79 @@ func TestExchangeDeterminismSubPhases(t *testing.T) {
 				t.Fatalf("procs=%d node %d: unpooled %v, pooled %v", procs, v, resPlain.FinalData[v], resPooled.FinalData[v])
 			}
 		}
+	}
+}
+
+// TestKernelEquivalence is the differential harness for the event-driven
+// simulation kernel: for every registered scenario, across processor
+// counts, interconnect models and fault injection, the event kernel must
+// reproduce the goroutine kernel's run bit for bit — virtual time, message
+// counters, phase breakdown, migrations, and the per-iteration trace
+// JSONL, byte for byte. The two kernels share no scheduling machinery
+// (goroutines + channel mailboxes vs a priority queue over passive rank
+// states), so agreement here is evidence the virtual timeline is a pure
+// function of the simulated program, not of the engine executing it.
+func TestKernelEquivalence(t *testing.T) {
+	const iterations = 6
+	networks := []string{"uniform", "hypercube", "mesh2d"}
+	perturbs := []string{"none", "brownout"}
+	for _, sc := range scenario.List() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, procs := range []int{2, 4, 8, 16} {
+				for _, network := range networks {
+					for _, perturb := range perturbs {
+						if sc.Runner != nil && perturb != fault.NameNone {
+							continue // custom runners do not support perturbation
+						}
+						base := scenario.Params{
+							Procs:      procs,
+							Network:    network,
+							Perturb:    perturb,
+							Iterations: iterations,
+						}
+						label := fmt.Sprintf("procs=%d network=%s perturb=%s", procs, network, perturb)
+
+						run := func(kernel string) (*scenario.Result, []byte) {
+							p := base
+							p.Kernel = kernel
+							p.Trace = &trace.Recorder{}
+							res, err := sc.Run(p)
+							if err != nil {
+								t.Fatalf("%s kernel=%s: %v", label, kernel, err)
+							}
+							var buf bytes.Buffer
+							if err := trace.WriteJSONL(&buf, p.Trace); err != nil {
+								t.Fatalf("%s kernel=%s: encode trace: %v", label, kernel, err)
+							}
+							return res, buf.Bytes()
+						}
+						gRes, gTrace := run("goroutine")
+						eRes, eTrace := run("event")
+
+						if gRes.Elapsed != eRes.Elapsed {
+							t.Errorf("%s: Elapsed goroutine %v != event %v", label, gRes.Elapsed, eRes.Elapsed)
+						}
+						if gRes.EdgeCut != eRes.EdgeCut || gRes.Imbalance != eRes.Imbalance {
+							t.Errorf("%s: partition quality diverged", label)
+						}
+						if gRes.Migrations != eRes.Migrations {
+							t.Errorf("%s: Migrations goroutine %d != event %d", label, gRes.Migrations, eRes.Migrations)
+						}
+						if gRes.MessagesSent != eRes.MessagesSent || gRes.BytesSent != eRes.BytesSent {
+							t.Errorf("%s: message counters diverged: goroutine %d msgs/%d bytes, event %d msgs/%d bytes",
+								label, gRes.MessagesSent, gRes.BytesSent, eRes.MessagesSent, eRes.BytesSent)
+						}
+						if !reflect.DeepEqual(gRes.Phases, eRes.Phases) {
+							t.Errorf("%s: phase breakdown diverged:\ngoroutine %v\nevent     %v", label, gRes.Phases, eRes.Phases)
+						}
+						if !bytes.Equal(gTrace, eTrace) {
+							t.Errorf("%s: trace JSONL diverged (%d vs %d bytes)", label, len(gTrace), len(eTrace))
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -119,6 +119,8 @@ type (
 	TraceMigration = trace.Migration
 	// TraceDerived is the per-iteration imbalance/edge-cut series entry.
 	TraceDerived = trace.Derived
+	// Kernel selects the mpi execution engine (Config.Kernel).
+	Kernel = mpi.Kernel
 )
 
 // Platform phase identifiers (Figures 21-22 of the paper).
@@ -140,6 +142,23 @@ const (
 	// NumPhases is the number of instrumented phases.
 	NumPhases = platform.NumPhases
 )
+
+// Execution kernels (Config.Kernel).
+const (
+	// KernelGoroutine runs one goroutine per simulated rank — the default
+	// engine, and the one every pinned table and golden trace was
+	// measured on.
+	KernelGoroutine = mpi.KernelGoroutine
+	// KernelEvent runs ranks as passive states driven by a discrete-event
+	// scheduler: bit-identical virtual timelines with flat per-rank
+	// memory, built for worlds of thousands of simulated processors.
+	// Virtual clock only.
+	KernelEvent = mpi.KernelEvent
+)
+
+// ParseKernel resolves a kernel name ("goroutine", "event", or "" for the
+// default) to a Kernel.
+func ParseKernel(name string) (Kernel, error) { return mpi.ParseKernel(name) }
 
 // Run executes the platform on cfg and blocks until every virtual
 // processor finishes.

@@ -29,6 +29,9 @@ type Options struct {
 	Cost netmodel.Model
 	// Mode selects virtual (default) or real clocks.
 	Mode mpi.ClockMode
+	// Kernel selects the mpi execution engine (goroutine-per-rank by
+	// default, or the discrete-event scheduler for large process counts).
+	Kernel mpi.Kernel
 }
 
 // Message is one delivered Put.
@@ -67,7 +70,7 @@ func Run(opts Options, fn func(p *Proc) error) error {
 	if opts.Procs < 1 {
 		return fmt.Errorf("bsp: Procs must be >= 1, got %d", opts.Procs)
 	}
-	return mpi.Run(mpi.Options{Procs: opts.Procs, Cost: opts.Cost, Mode: opts.Mode}, func(c *mpi.Comm) error {
+	return mpi.Run(mpi.Options{Procs: opts.Procs, Cost: opts.Cost, Mode: opts.Mode, Kernel: opts.Kernel}, func(c *mpi.Comm) error {
 		p := &Proc{comm: c, outbox: make([][]outMsg, c.Size())}
 		if err := fn(p); err != nil {
 			return err

@@ -35,7 +35,7 @@ func fixedReports() []Report {
 					Params: scenario.Params{
 						Procs: 1, Partitioner: "metis", Exchange: "basic",
 						Buffers: "pooled", Balancer: "none", Network: "hypercube",
-						Perturb: "none", Iterations: 5,
+						Perturb: "none", Iterations: 5, Kernel: "goroutine",
 					},
 					Elapsed: 0.25, EdgeCut: 10, Imbalance: 1.125,
 					MessagesSent: 0, BytesSent: 0,
@@ -48,7 +48,7 @@ func fixedReports() []Report {
 					Params: scenario.Params{
 						Procs: 2, Partitioner: "metis", Exchange: "basic",
 						Buffers: "pooled", Balancer: "none", Network: "hypercube",
-						Perturb: "brownout@2", Iterations: 5,
+						Perturb: "brownout@2", Iterations: 5, Kernel: "event",
 					},
 					Elapsed: 0.125, EdgeCut: 10, Imbalance: 1.125,
 					Migrations: 3, MessagesSent: 40, BytesSent: 640,

@@ -12,7 +12,7 @@ import (
 // The generic sweep engine: a cartesian sweep of one scenario over the
 // platform's configuration axes (processor count, static partitioner,
 // exchange mode, buffer pooling, dynamic balancer, interconnect model,
-// fault-injection schedule, iteration count), producing a
+// fault-injection schedule, execution kernel, iteration count), producing a
 // machine-readable SweepReport. The paper's tables and
 // figures are special cases of this engine; `cmd/experiments -scenario`
 // exposes it directly.
@@ -39,6 +39,10 @@ type Axes struct {
 	// Perturbs is the fault-injection axis (fault.Names names the
 	// accepted schedule specs, each optionally suffixed "@<seed>").
 	Perturbs []string `json:"perturbs"`
+	// Kernels is the mpi execution-engine axis ("goroutine", "event");
+	// both produce bit-identical virtual timelines, so this axis exists
+	// for differential testing and for host-time comparisons.
+	Kernels []string `json:"kernels"`
 	// Iterations is the iteration-count axis.
 	Iterations []int `json:"iterations"`
 }
@@ -54,6 +58,7 @@ func DefaultAxes() Axes {
 		Balancers:    []string{""},
 		Networks:     []string{""},
 		Perturbs:     []string{""},
+		Kernels:      []string{""},
 		Iterations:   []int{0},
 	}
 }
@@ -81,6 +86,9 @@ func (ax Axes) normalize() Axes {
 	if len(ax.Perturbs) == 0 {
 		ax.Perturbs = []string{""}
 	}
+	if len(ax.Kernels) == 0 {
+		ax.Kernels = []string{""}
+	}
 	if len(ax.Iterations) == 0 {
 		ax.Iterations = []int{0}
 	}
@@ -92,7 +100,7 @@ func (ax Axes) Size() int {
 	ax = ax.normalize()
 	return len(ax.Procs) * len(ax.Partitioners) * len(ax.Exchanges) *
 		len(ax.Buffers) * len(ax.Balancers) * len(ax.Networks) *
-		len(ax.Perturbs) * len(ax.Iterations)
+		len(ax.Perturbs) * len(ax.Kernels) * len(ax.Iterations)
 }
 
 // ParseAxes parses a sweep specification of semicolon-separated
@@ -101,7 +109,7 @@ func (ax Axes) Size() int {
 //	procs=1,2,4,8;partitioner=metis,pagrid;network=uniform,hypercube
 //
 // Accepted axis names: procs, partitioner, exchange, buffers, balancer,
-// network, perturb, iters (singular and plural forms both work).
+// network, perturb, kernel, iters (singular and plural forms both work).
 // Unspecified axes stay at the scenario's default.
 func ParseAxes(spec string) (Axes, error) {
 	ax := Axes{}
@@ -155,8 +163,10 @@ func ParseAxes(spec string) (Axes, error) {
 			ax.Networks = vals
 		case "perturb", "perturbs":
 			ax.Perturbs = vals
+		case "kernel", "kernels":
+			ax.Kernels = vals
 		default:
-			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, network, perturb, iters)", key)
+			return ax, fmt.Errorf("experiments: unknown sweep axis %q (known: procs, partitioner, exchange, buffers, balancer, network, perturb, kernel, iters)", key)
 		}
 	}
 	return ax, nil
@@ -172,7 +182,7 @@ type SweepRow struct {
 
 // SweepReport is the machine-readable result of one sweep, ordered
 // deterministically: iterations, partitioner, exchange, buffers,
-// balancer, network, perturbation, then processor count, each in axis
+// balancer, network, perturbation, kernel, then processor count, each in axis
 // order.
 type SweepReport struct {
 	// ID is the report identifier ("sweep-<scenario>").
@@ -194,7 +204,7 @@ func (ax Axes) Single() (scenario.Params, error) {
 	var p scenario.Params
 	if len(ax.Procs) > 1 || len(ax.Partitioners) > 1 || len(ax.Exchanges) > 1 ||
 		len(ax.Buffers) > 1 || len(ax.Balancers) > 1 || len(ax.Networks) > 1 ||
-		len(ax.Perturbs) > 1 || len(ax.Iterations) > 1 {
+		len(ax.Perturbs) > 1 || len(ax.Kernels) > 1 || len(ax.Iterations) > 1 {
 		return p, fmt.Errorf("experiments: expected a single parameter combination, got a %d-run sweep", ax.Size())
 	}
 	if len(ax.Procs) == 1 {
@@ -217,6 +227,9 @@ func (ax Axes) Single() (scenario.Params, error) {
 	}
 	if len(ax.Perturbs) == 1 {
 		p.Perturb = ax.Perturbs[0]
+	}
+	if len(ax.Kernels) == 1 {
+		p.Kernel = ax.Kernels[0]
 	}
 	if len(ax.Iterations) == 1 {
 		p.Iterations = ax.Iterations[0]
@@ -268,17 +281,20 @@ func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 					for _, bal := range ax.Balancers {
 						for _, netw := range ax.Networks {
 							for _, pert := range ax.Perturbs {
-								for _, procs := range ax.Procs {
-									params = append(params, scenario.Params{
-										Procs:       procs,
-										Partitioner: part,
-										Exchange:    ex,
-										Buffers:     buf,
-										Balancer:    bal,
-										Network:     netw,
-										Perturb:     pert,
-										Iterations:  iters,
-									})
+								for _, kern := range ax.Kernels {
+									for _, procs := range ax.Procs {
+										params = append(params, scenario.Params{
+											Procs:       procs,
+											Partitioner: part,
+											Exchange:    ex,
+											Buffers:     buf,
+											Balancer:    bal,
+											Network:     netw,
+											Perturb:     pert,
+											Kernel:      kern,
+											Iterations:  iters,
+										})
+									}
 								}
 							}
 						}

@@ -1,0 +1,314 @@
+package mpi
+
+// Unit tests of the discrete-event kernel: in-package equivalence
+// smokes against the goroutine kernel, the failure paths the big
+// differential suite (TestKernelEquivalence at the repo root) cannot
+// reach, and the ordering contract of the event queue itself.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ic2mpi/internal/netmodel"
+	"ic2mpi/internal/topology"
+)
+
+// runBothKernels executes fn under the goroutine and the event kernel
+// and returns per-rank (Wtime, Stats) snapshots taken after fn returns.
+func runBothKernels(t *testing.T, opts Options, fn func(c *Comm) error) (goro, event []struct {
+	Time  float64
+	Stats Stats
+}) {
+	t.Helper()
+	run := func(k Kernel) []struct {
+		Time  float64
+		Stats Stats
+	} {
+		out := make([]struct {
+			Time  float64
+			Stats Stats
+		}, opts.Procs)
+		o := opts
+		o.Kernel = k
+		err := Run(o, func(c *Comm) error {
+			if err := fn(c); err != nil {
+				return err
+			}
+			out[c.Rank()] = struct {
+				Time  float64
+				Stats Stats
+			}{c.Wtime(), c.Stats()}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("kernel %v: %v", k, err)
+		}
+		return out
+	}
+	return run(KernelGoroutine), run(KernelEvent)
+}
+
+// checkKernelsAgree asserts the two snapshots are identical, bit for bit.
+func checkKernelsAgree(t *testing.T, label string, goro, event []struct {
+	Time  float64
+	Stats Stats
+}) {
+	t.Helper()
+	for r := range goro {
+		if goro[r] != event[r] {
+			t.Errorf("%s: rank %d diverges:\n  goroutine %+v\n  event     %+v", label, r, goro[r], event[r])
+		}
+	}
+}
+
+// TestEventKernelEquivalenceSmoke drives a deliberately gnarly SPMD
+// program — ring traffic, self-sends, AnyTag receives, Probe polling,
+// Irecv/Wait, collectives and repeated barriers — under both kernels on
+// a uniform and on a mesh topology machine, and asserts identical
+// virtual clocks and stats. The scenario-level differential suite pins
+// the same property on real workloads.
+func TestEventKernelEquivalenceSmoke(t *testing.T) {
+	mesh, err := topology.Mesh2D(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]netmodel.Model{
+		"uniform": netmodel.NewUniform(netmodel.Origin2000()),
+		"mesh2d":  netmodel.Topology{Base: netmodel.Origin2000(), Net: mesh},
+	}
+	for name, model := range models {
+		opts := Options{Procs: 6, Cost: model, Mode: VirtualClock}
+		goro, event := runBothKernels(t, opts, func(c *Comm) error {
+			n, r := c.Size(), c.Rank()
+			for round := 0; round < 4; round++ {
+				c.SetEpoch(round)
+				c.Charge(float64(r+1) * 1e-5)
+				// Ring exchange, two tags interleaved.
+				next, prev := (r+1)%n, (r+n-1)%n
+				if err := c.Isend(next, 7, r*10+round, 8); err != nil {
+					return err
+				}
+				if err := c.Isend(next, 8, r, 16); err != nil {
+					return err
+				}
+				if _, err := c.Recv(prev, 7); err != nil {
+					return err
+				}
+				req, err := c.Irecv(prev, 8)
+				if err != nil {
+					return err
+				}
+				c.Charge(2e-6)
+				if _, err := req.Wait(); err != nil {
+					return err
+				}
+				// Self-send plus an AnyTag receive, gated on Probe.
+				if err := c.Send(r, 9, round, 4); err != nil {
+					return err
+				}
+				if !c.Probe(r, AnyTag) {
+					return fmt.Errorf("rank %d: self-send not probed", r)
+				}
+				if _, err := c.Recv(r, AnyTag); err != nil {
+					return err
+				}
+				if _, err := c.AllreduceMaxFloat64(c.Wtime()); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+			_, err := c.GatherInts(0, []int{r})
+			return err
+		})
+		checkKernelsAgree(t, name, goro, event)
+	}
+}
+
+// TestEventKernelRejectsRealClock pins the mode restriction.
+func TestEventKernelRejectsRealClock(t *testing.T) {
+	err := Run(Options{Procs: 2, Mode: RealClock, Kernel: KernelEvent}, func(c *Comm) error { return nil })
+	if err == nil {
+		t.Fatal("expected an error for RealClock under the event kernel")
+	}
+}
+
+// TestEventKernelDetectsDeadlock: a receive that can never be satisfied
+// drains the event queue; the kernel must fail the world (the goroutine
+// kernel would hang forever here, which is why this test exists only
+// for the event kernel).
+func TestEventKernelDetectsDeadlock(t *testing.T) {
+	opts := freeOpts(3)
+	opts.Kernel = KernelEvent
+	err := Run(opts, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(1, 42) // rank 1 never sends
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+}
+
+// TestEventKernelErrorAndPanicPropagate mirrors TestRankErrorPropagates
+// and TestPanicConvertedToError on the event path: the failure must
+// unblock ranks parked in Recv and in Barrier.
+func TestEventKernelErrorAndPanicPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	for name, fail := range map[string]func(){
+		"error": func() {},
+		"panic": func() { panic("kaboom") },
+	} {
+		opts := freeOpts(4)
+		opts.Kernel = KernelEvent
+		err := Run(opts, func(c *Comm) error {
+			switch c.Rank() {
+			case 0:
+				if name == "panic" {
+					fail()
+				}
+				return boom
+			case 1:
+				_, err := c.Recv(2, 1) // parked in Recv when rank 0 fails
+				return err
+			default:
+				return c.Barrier() // parked in Barrier when rank 0 fails
+			}
+		})
+		if err == nil {
+			t.Fatalf("%s: expected failure to propagate", name)
+		}
+	}
+}
+
+// TestEventKernelFailUnblocks mirrors TestFailUnblocksBarrier: Comm.Fail
+// from a running rank must wake barrier waiters.
+func TestEventKernelFailUnblocks(t *testing.T) {
+	opts := freeOpts(3)
+	opts.Kernel = KernelEvent
+	err := Run(opts, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Fail(errors.New("deliberate"))
+			return nil
+		}
+		return c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected the injected failure")
+	}
+}
+
+// TestEventQueueOrder drives the queue with a seeded random insertion
+// pattern and asserts pops come out in strict (time, rank, seq) order —
+// the determinism contract FuzzEventQueue explores adversarially.
+func TestEventQueueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	var q eventQueue
+	var seq uint64
+	var want []event
+	for i := 0; i < 2000; i++ {
+		seq++
+		e := event{time: float64(rng.Intn(50)) * 0.125, rank: int32(rng.Intn(8)), seq: seq}
+		q.push(e)
+		want = append(want, e)
+		if rng.Intn(3) == 0 && q.Len() > 0 {
+			got := q.pop()
+			best := 0
+			for j := 1; j < len(want); j++ {
+				if eventLess(want[j], want[best]) {
+					best = j
+				}
+			}
+			if got != want[best] {
+				t.Fatalf("pop %d: got %+v, want %+v", i, got, want[best])
+			}
+			want = append(want[:best], want[best+1:]...)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return eventLess(want[i], want[j]) })
+	for _, w := range want {
+		if got := q.pop(); got != w {
+			t.Fatalf("drain: got %+v, want %+v", got, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+// FuzzEventQueue feeds arbitrary interleaved push/pop traffic to the
+// event queue and asserts the pop order is exactly the (time, rank, seq)
+// total order — random insertions must pop deterministically.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 16, 32, 64, 128})
+	f.Add([]byte{9, 1, 9, 1, 9, 1, 77})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q eventQueue
+		var seq uint64
+		var live []event
+		for i := 0; i+1 < len(data); i += 2 {
+			seq++
+			e := event{
+				// A coarse time grid forces plenty of ties so the
+				// (rank, seq) tie-break actually decides.
+				time: float64(data[i]>>4) * 0.25,
+				rank: int32(data[i] & 0x0f),
+				seq:  seq,
+			}
+			q.push(e)
+			live = append(live, e)
+			if data[i+1]%3 == 0 && q.Len() > 0 {
+				got := q.pop()
+				best := 0
+				for j := 1; j < len(live); j++ {
+					if eventLess(live[j], live[best]) {
+						best = j
+					}
+				}
+				if got != live[best] {
+					t.Fatalf("pop: got %+v, want %+v", got, live[best])
+				}
+				live = append(live[:best], live[best+1:]...)
+			}
+		}
+		sort.Slice(live, func(i, j int) bool { return eventLess(live[i], live[j]) })
+		for _, w := range live {
+			if got := q.pop(); got != w {
+				t.Fatalf("drain: got %+v, want %+v", got, w)
+			}
+		}
+	})
+}
+
+// BenchmarkEventQueue measures steady-state push/pop throughput at a
+// queue depth typical of a large world (one outstanding event per rank).
+func BenchmarkEventQueue(b *testing.B) {
+	const depth = 4096
+	var q eventQueue
+	rng := rand.New(rand.NewSource(1))
+	times := make([]float64, depth)
+	for i := range times {
+		times[i] = rng.Float64()
+	}
+	var seq uint64
+	for i := 0; i < depth; i++ {
+		seq++
+		q.push(event{time: times[i], rank: int32(i), seq: seq})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		seq++
+		e.time += times[i%depth]
+		e.seq = seq
+		q.push(e)
+	}
+}

@@ -1,0 +1,59 @@
+package mpi
+
+import "fmt"
+
+// Kernel selects the execution engine that drives the ranks of a World.
+// Both kernels implement the same Comm API and — by construction — the
+// same virtual timeline: every clock advance is a pure function of
+// message content and per-rank program order, never of host scheduling,
+// so the kernels are bit-identical and differ only in host-side cost.
+type Kernel int
+
+const (
+	// KernelGoroutine is the original engine: one goroutine per rank,
+	// channel-free mailboxes guarded by mutex+cond, all ranks runnable
+	// concurrently. Best host-time at small worlds; memory and scheduler
+	// pressure grow with rank count.
+	KernelGoroutine Kernel = iota
+	// KernelEvent is the discrete-event engine: ranks are passive states
+	// driven by a scheduler popping wake events from a priority queue
+	// ordered on (virtual time, rank, seq), with slab-allocated message
+	// envelopes instead of per-rank mailbox locks. Exactly one rank runs
+	// at a time, so the simulation needs no locks and scales to tens of
+	// thousands of ranks with flat memory per rank. VirtualClock only.
+	KernelEvent
+)
+
+// Kernel names accepted by ParseKernel and used in Params/CLI plumbing.
+const (
+	KernelNameGoroutine = "goroutine"
+	KernelNameEvent     = "event"
+)
+
+// String returns the kernel's CLI/Params name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelGoroutine:
+		return KernelNameGoroutine
+	case KernelEvent:
+		return KernelNameEvent
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel resolves a kernel name ("" means the default goroutine
+// kernel, preserving every pre-kernel configuration unchanged).
+func ParseKernel(name string) (Kernel, error) {
+	switch name {
+	case "", KernelNameGoroutine:
+		return KernelGoroutine, nil
+	case KernelNameEvent:
+		return KernelEvent, nil
+	default:
+		return 0, fmt.Errorf("mpi: unknown kernel %q (want %s or %s)", name, KernelNameGoroutine, KernelNameEvent)
+	}
+}
+
+// KernelNames returns the accepted kernel names, in default-first order.
+func KernelNames() []string { return []string{KernelNameGoroutine, KernelNameEvent} }

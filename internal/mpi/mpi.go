@@ -33,6 +33,11 @@ type Options struct {
 	Cost netmodel.Model
 	// Mode selects virtual or real time accounting.
 	Mode ClockMode
+	// Kernel selects the execution engine: KernelGoroutine (default, one
+	// goroutine per rank) or KernelEvent (discrete-event scheduler for
+	// large worlds; VirtualClock only). The two are bit-identical in
+	// virtual time, stats and traces — see kernel.go.
+	Kernel Kernel
 }
 
 // World owns the shared state of one SPMD execution: mailboxes, the barrier,
@@ -55,6 +60,9 @@ type World struct {
 	tv    netmodel.TimeVarying
 	boxes []*mailbox
 	bar   *barrier
+	// ev is non-nil when the world runs under the discrete-event kernel
+	// (see event.go); Comm methods branch to it instead of the mailboxes.
+	ev    *eventKernel
 	start time.Time
 	// failFlag is the lock-free fast path for "has any rank failed":
 	// receive loops poll it on every wakeup, so it must not require
@@ -243,6 +251,12 @@ func Run(opts Options, fn func(c *Comm) error) error {
 	if tv, ok := cost.(netmodel.TimeVarying); ok {
 		w.tv = tv
 	}
+	if opts.Kernel == KernelEvent {
+		if opts.Mode == RealClock {
+			return fmt.Errorf("mpi: the event kernel simulates virtual time only; RealClock requires the goroutine kernel")
+		}
+		return runEvent(w, fn)
+	}
 	w.boxes = make([]*mailbox, opts.Procs)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -371,12 +385,16 @@ func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
 	}
 	c.clock.Advance(c.sendOverhead)
 	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now(), epoch: c.epoch}
-	box := c.world.boxes[dst]
-	box.mu.Lock()
-	box.pending = append(box.pending, box.get(m))
-	// The owning rank is the only receiver, so one wakeup suffices.
-	box.cond.Signal()
-	box.mu.Unlock()
+	if ev := c.world.ev; ev != nil {
+		ev.send(dst, m)
+	} else {
+		box := c.world.boxes[dst]
+		box.mu.Lock()
+		box.pending = append(box.pending, box.get(m))
+		// The owning rank is the only receiver, so one wakeup suffices.
+		box.cond.Signal()
+		box.mu.Unlock()
+	}
 	c.sent++
 	c.bytesSent += bytes
 	return nil
@@ -397,6 +415,9 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) error {
 func (c *Comm) Recv(src, tag int) (any, error) {
 	if src < 0 || src >= c.world.procs {
 		return nil, fmt.Errorf("mpi: Recv on rank %d from invalid rank %d (size %d)", c.rank, src, c.world.procs)
+	}
+	if ev := c.world.ev; ev != nil {
+		return ev.recv(c, src, tag)
 	}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
@@ -421,25 +442,31 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	}
 }
 
+// arrival prices message m's delivery at rank dst. sentAt already
+// includes the sender's SendOverhead charge; the model prices the wire
+// portion per (src, dst) pair. The result is a pure function of the
+// message content — never of receiver progress or host scheduling —
+// which is what makes both kernels produce the same timeline.
+func (w *World) arrival(m message, dst int) float64 {
+	switch {
+	case w.flat:
+		// Sum the wire term first — same float association as
+		// netmodel.Uniform.ArrivalTime, which this path devirtualizes.
+		wire := w.flatLatency + float64(m.bytes)*w.flatByteTime
+		return m.sentAt + wire
+	case w.tv != nil:
+		// A time-varying machine prices the wire at the conditions of
+		// the sender's epoch when the message was injected, so pricing
+		// is a pure function of the message, not of receiver progress.
+		return w.tv.ArrivalTimeAt(m.epoch, m.src, dst, m.sentAt, m.bytes)
+	default:
+		return w.cost.ArrivalTime(m.src, dst, m.sentAt, m.bytes)
+	}
+}
+
 func (c *Comm) completeRecv(m message) {
 	if c.world.mode == VirtualClock {
-		// sentAt already includes the sender's SendOverhead charge; the
-		// model prices the wire portion per (src, dst) pair.
-		var arrival float64
-		switch {
-		case c.world.flat:
-			// Sum the wire term first — same float association as
-			// netmodel.Uniform.ArrivalTime, which this path devirtualizes.
-			wire := c.world.flatLatency + float64(m.bytes)*c.world.flatByteTime
-			arrival = m.sentAt + wire
-		case c.world.tv != nil:
-			// A time-varying machine prices the wire at the conditions of
-			// the sender's epoch when the message was injected, so pricing
-			// is a pure function of the message, not of receiver progress.
-			arrival = c.world.tv.ArrivalTimeAt(m.epoch, m.src, c.rank, m.sentAt, m.bytes)
-		default:
-			arrival = c.world.cost.ArrivalTime(m.src, c.rank, m.sentAt, m.bytes)
-		}
+		arrival := c.world.arrival(m, c.rank)
 		if now := c.clock.Now(); arrival > now {
 			c.idleSeconds += arrival - now
 		}
@@ -491,6 +518,9 @@ func (r *Request) Wait() (any, error) {
 // Probe reports whether a message from src with the given tag is already
 // queued, without receiving it.
 func (c *Comm) Probe(src, tag int) bool {
+	if ev := c.world.ev; ev != nil {
+		return ev.probe(c.rank, src, tag)
+	}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -506,9 +536,17 @@ func (c *Comm) Probe(src, tag int) bool {
 // leave the barrier at the maximum participant time, like a synchronizing
 // MPI_Barrier on dedicated hardware.
 func (c *Comm) Barrier() error {
-	t := c.world.bar.wait(c.clock.Now(), func() bool { return c.world.failed() != nil })
-	if err := c.world.failed(); err != nil {
-		return fmt.Errorf("mpi: rank %d Barrier aborted: sibling rank failed", c.rank)
+	var t float64
+	if ev := c.world.ev; ev != nil {
+		var err error
+		if t, err = ev.barrier(c); err != nil {
+			return err
+		}
+	} else {
+		t = c.world.bar.wait(c.clock.Now(), func() bool { return c.world.failed() != nil })
+		if err := c.world.failed(); err != nil {
+			return fmt.Errorf("mpi: rank %d Barrier aborted: sibling rank failed", c.rank)
+		}
 	}
 	if c.world.mode == VirtualClock {
 		if now := c.clock.Now(); t > now {
@@ -523,5 +561,9 @@ func (c *Comm) Barrier() error {
 // observe the failure and unwind.
 func (c *Comm) Fail(err error) {
 	c.world.setFail(fmt.Errorf("mpi: rank %d: %w", c.rank, err))
+	if ev := c.world.ev; ev != nil {
+		ev.wakeAll()
+		return
+	}
 	c.world.wakeAll()
 }

@@ -249,7 +249,7 @@ func NewHeterogeneousGrid(procs int, slowFactor, wanCost float64, base LogGP) (T
 func (t Topology) ArrivalTime(src, dst int, sendStart float64, nbytes int) float64 {
 	wire := t.Base.Latency + float64(nbytes)*t.Base.ByteTime
 	if src != dst {
-		if s := t.Net.LinkCost[src][dst]; s > 0 {
+		if s := t.Net.Cost(src, dst); s > 0 {
 			wire *= s
 		}
 	}

@@ -89,7 +89,7 @@ func (p *PaGrid) estTimes(g *wgraph, part []int, net *topology.Network, k int) [
 		for i, u := range g.adj[v] {
 			pu := part[u]
 			if pu != pv {
-				et[pv] += rref * float64(g.ew[v][i]) * net.LinkCost[pv][pu]
+				et[pv] += rref * float64(g.ew[v][i]) * net.Cost(pv, pu)
 			}
 		}
 	}
@@ -193,10 +193,10 @@ func (p *PaGrid) moveDelta(g *wgraph, part []int, net *topology.Network, v, from
 		pu := part[u]
 		w := float64(g.ew[v][i])
 		if pu != from {
-			newFrom -= rref * w * net.LinkCost[from][pu]
+			newFrom -= rref * w * net.Cost(from, pu)
 		}
 		if pu != to {
-			newTo += rref * w * net.LinkCost[to][pu]
+			newTo += rref * w * net.Cost(to, pu)
 		}
 	}
 	return newFrom, newTo

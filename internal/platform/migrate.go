@@ -69,10 +69,9 @@ func (s *rankState) loadBalance(iter int) (int, error) {
 func (s *rankState) balanceRound(iter int, times *[]float64) (int, error) {
 	// One gather carries both the communication-buffer-size vector (the
 	// processor graph's edge weights) and the owned-node count used by the
-	// estimated-time update.
-	row := make([]int, 0, s.cfg.Procs+1)
-	row = append(row, s.sendCount...)
-	row = append(row, s.numOwned())
+	// estimated-time update. sendRow materializes the dense vector even in
+	// sparse bookkeeping mode — the balancer's processor graph is dense.
+	row := s.sendRow()
 	gathered, err := s.comm.GatherInts(0, row)
 	if err != nil {
 		return 0, err

@@ -40,7 +40,7 @@ func Run(cfg Config) (*Result, error) {
 	// iteration.
 	tv, _ := c.Network.(netmodel.TimeVarying)
 
-	opts := mpi.Options{Procs: c.Procs, Cost: c.Network, Mode: c.Mode}
+	opts := mpi.Options{Procs: c.Procs, Cost: c.Network, Mode: c.Mode, Kernel: c.Kernel}
 	runErr := mpi.Run(opts, func(comm *mpi.Comm) error {
 		if err := comm.Barrier(); err != nil {
 			return err

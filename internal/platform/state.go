@@ -51,6 +51,22 @@ type rankState struct {
 	// expect exactly one update per such node per exchange.
 	recvCount []int
 
+	// sparse replaces the dense count vectors with neighbor-keyed maps.
+	// A rank in a P-processor world talks to O(degree) neighbors, so the
+	// dense sendCount/recvCount cost O(P) memory per rank — O(P²) across
+	// the world — which is what caps the goroutine-kernel sweeps around a
+	// thousand ranks. Above sparseStateThreshold (or under
+	// Config.ForceSparseState) the rank keeps only the processors it
+	// actually exchanges with, in sendCountM/recvCountM, plus sorted
+	// sendProcs/recvProcs so every loop still visits destinations in the
+	// same ascending-processor order the dense scans use — that ordering
+	// is what keeps the virtual timeline bit-identical across modes.
+	sparse     bool
+	sendCountM map[int]int
+	recvCountM map[int]int
+	sendProcs  []int
+	recvProcs  []int
+
 	// Exchange buffer pool (Config.ReuseBuffers). sendPool holds two
 	// generations of per-destination send buffers; successive exchanges
 	// alternate generations, so a buffer handed to Isend in exchange k is
@@ -61,9 +77,13 @@ type rankState struct {
 	// and has already unpacked everything we sent it in exchange k.
 	// nbrScratch is the recycled node+neighbors list handed to the node
 	// function. All three stay nil unless ReuseBuffers is on.
-	sendPool   [2][][]shadowUpdate
-	exchanges  int
-	nbrScratch []Neighbor
+	sendPool [2][][]shadowUpdate
+	// sendPoolSparse is the sparse-mode twin of sendPool: the same
+	// two-generation parity discipline, keyed by destination instead of
+	// indexed by it.
+	sendPoolSparse [2]map[int][]shadowUpdate
+	exchanges      int
+	nbrScratch     []Neighbor
 
 	phase [NumPhases]float64
 	// workTime is the compute time of the most recent full iteration — the
@@ -75,6 +95,13 @@ type rankState struct {
 
 	migrations int
 }
+
+// sparseStateThreshold is the processor count above which ranks switch
+// from dense per-processor count vectors to the sparse neighbor-keyed
+// bookkeeping (see rankState.sparse). A package variable rather than a
+// constant so white-box tests can lower it; Config.ForceSparseState is
+// the supported external knob.
+var sparseStateThreshold = 1024
 
 // shadowUpdate is one packed buffer element (struct buffer_data_node):
 // global ID plus the node's updated data.
@@ -111,8 +138,14 @@ func newRankState(cfg *Config, comm *mpi.Comm) (*rankState, error) {
 		return nil, err
 	}
 	s.table = table
-	s.sendCount = make([]int, cfg.Procs)
-	s.recvCount = make([]int, cfg.Procs)
+	s.sparse = cfg.Procs > sparseStateThreshold || cfg.ForceSparseState
+	if s.sparse {
+		s.sendCountM = make(map[int]int)
+		s.recvCountM = make(map[int]int)
+	} else {
+		s.sendCount = make([]int, cfg.Procs)
+		s.recvCount = make([]int, cfg.Procs)
+	}
 
 	entries := 0
 	// Build own node lists and own data entries.
@@ -190,8 +223,32 @@ func containsInt(xs []int, x int) bool {
 
 // rebuildCounts recomputes sendCount and recvCount from the node lists and
 // the owner map. sendCount falls out of the peripheral shadowFor sets;
-// recvCount counts distinct shadow nodes per owning processor.
+// recvCount counts distinct shadow nodes per owning processor. In sparse
+// mode the counts live in maps and the sorted sendProcs/recvProcs lists
+// are rebuilt alongside.
 func (s *rankState) rebuildCounts() {
+	if s.sparse {
+		clear(s.sendCountM)
+		clear(s.recvCountM)
+		for _, node := range s.peripheral {
+			for _, p := range node.shadowFor {
+				s.sendCountM[p]++
+			}
+		}
+		seen := make(map[graph.NodeID]bool)
+		for _, node := range s.peripheral {
+			for _, u := range node.neighbors {
+				p := s.owner[u]
+				if p != s.me && !seen[u] {
+					seen[u] = true
+					s.recvCountM[p]++
+				}
+			}
+		}
+		s.sendProcs = sortedProcs(s.sendCountM, s.sendProcs)
+		s.recvProcs = sortedProcs(s.recvCountM, s.recvProcs)
+		return
+	}
 	for p := range s.sendCount {
 		s.sendCount[p] = 0
 		s.recvCount[p] = 0
@@ -211,6 +268,33 @@ func (s *rankState) rebuildCounts() {
 			}
 		}
 	}
+}
+
+// sortedProcs collects a count map's keys in ascending order, reusing buf.
+func sortedProcs(counts map[int]int, buf []int) []int {
+	buf = buf[:0]
+	for p := range counts {
+		buf = append(buf, p)
+	}
+	sort.Ints(buf)
+	return buf
+}
+
+// sendRow materializes the dense per-processor send-count vector (with
+// numOwned appended — the row the load balancer gathers at rank 0). The
+// balancer's processor graph is inherently dense, so sparse mode pays the
+// O(P) expansion only inside balancing rounds, never per exchange.
+func (s *rankState) sendRow() []int {
+	row := make([]int, s.cfg.Procs+1)
+	if s.sparse {
+		for _, p := range s.sendProcs {
+			row[p] = s.sendCountM[p]
+		}
+	} else {
+		copy(row, s.sendCount)
+	}
+	row[s.cfg.Procs] = s.numOwned()
+	return row
 }
 
 // reclassifyAll rebuilds the internal/peripheral split after ownership

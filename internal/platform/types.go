@@ -228,6 +228,12 @@ type Config struct {
 	Overheads OverheadModel
 	// Mode selects virtual (default) or real clocks.
 	Mode mpi.ClockMode
+	// Kernel selects the mpi execution engine: mpi.KernelGoroutine (the
+	// default — one goroutine per rank, the engine every pinned table and
+	// golden trace was measured on) or mpi.KernelEvent (discrete-event
+	// scheduler, bit-identical in virtual time, built for worlds of
+	// thousands of ranks). VirtualClock only for the event kernel.
+	Kernel mpi.Kernel
 	// SkipFinalGather disables gathering final node data into
 	// Result.FinalData (large sweeps skip the gather to save memory;
 	// callers verifying results against the sequential reference keep it).
@@ -237,6 +243,14 @@ type Config struct {
 	// migration. Meant for tests; adds O(nodes) host work per iteration
 	// but no virtual time.
 	CheckInvariants bool
+	// ForceSparseState switches every rank to the sparse neighbor-keyed
+	// communication bookkeeping regardless of Procs (it normally engages
+	// only above sparseStateThreshold processors, where the dense
+	// per-processor count vectors would cost O(P) memory per rank). Meant
+	// for differential tests that pit the sparse bookkeeping against the
+	// dense fast path at small scale; the virtual timeline is identical
+	// either way.
+	ForceSparseState bool
 	// Trace, when non-nil, records per-iteration telemetry — per-processor
 	// compute/communicate/idle virtual time, message counters, migration
 	// events and the live edge-cut — into the given recorder. Tracing is

@@ -3,6 +3,7 @@ package scenario
 import (
 	"ic2mpi/internal/bsp"
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
 	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/trace"
@@ -152,6 +153,13 @@ func PageRankBSP(g *graph.Graph, procs, iters int, rec *trace.Recorder) ([]float
 // model). A non-nil rec records one trace sample per (superstep,
 // process): the scatter loop as compute, Sync as communicate.
 func PageRankBSPOn(g *graph.Graph, procs, iters int, model netmodel.Model, rec *trace.Recorder) ([]float64, float64, error) {
+	return pageRankBSPKernel(g, procs, iters, model, mpi.KernelGoroutine, rec)
+}
+
+// pageRankBSPKernel is PageRankBSPOn with an explicit mpi execution
+// kernel; the scenario runner threads Params.Kernel through here so the
+// sweep engine can run the BSP workload on the event kernel too.
+func pageRankBSPKernel(g *graph.Graph, procs, iters int, model netmodel.Model, kernel mpi.Kernel, rec *trace.Recorder) ([]float64, float64, error) {
 	n := g.NumVertices()
 	ranks := make([]float64, n)
 	times := make([]float64, procs)
@@ -174,7 +182,7 @@ func PageRankBSPOn(g *graph.Graph, procs, iters int, model netmodel.Model, rec *
 			rec.RecordEdgeCut(it, cut)
 		}
 	}
-	runErr := bsp.Run(bsp.Options{Procs: procs, Cost: model}, func(p *bsp.Proc) error {
+	runErr := bsp.Run(bsp.Options{Procs: procs, Cost: model, Kernel: kernel}, func(p *bsp.Proc) error {
 		lo := p.Pid() * n / p.NProcs()
 		hi := (p.Pid() + 1) * n / p.NProcs()
 
@@ -341,7 +349,11 @@ func init() {
 					return nil, err
 				}
 			}
-			_, elapsed, err := PageRankBSPOn(g, p.Procs, p.Iterations, model, p.Trace)
+			kernel, err := mpi.ParseKernel(p.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			_, elapsed, err := pageRankBSPKernel(g, p.Procs, p.Iterations, model, kernel, p.Trace)
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 	"ic2mpi/internal/balance"
 	"ic2mpi/internal/fault"
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/mpi"
 	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/partition"
 	"ic2mpi/internal/platform"
@@ -65,6 +66,12 @@ type Params struct {
 	Perturb string `json:"perturb"`
 	// Iterations is the number of outer iterations (time steps).
 	Iterations int `json:"iterations"`
+	// Kernel names the mpi execution engine: "goroutine" (the default —
+	// one goroutine per rank, the engine every pinned docgen table and
+	// golden trace was measured on) or "event" (discrete-event scheduler,
+	// bit-identical virtual timeline, built for thousands of simulated
+	// processors). See mpi.KernelNames.
+	Kernel string `json:"kernel"`
 	// BalanceEvery is the balancing period in iterations.
 	BalanceEvery int `json:"-"`
 	// BalanceRounds bounds plan+migrate rounds per balancing invocation.
@@ -191,6 +198,14 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 			p.Iterations = sc.Iterations
 		}
 	}
+	if p.Kernel == "" {
+		if p.Kernel = def.Kernel; p.Kernel == "" {
+			p.Kernel = mpi.KernelNameGoroutine
+		}
+	}
+	if _, err := mpi.ParseKernel(p.Kernel); err != nil {
+		return p, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
 	if p.BalanceEvery == 0 {
 		p.BalanceEvery = def.BalanceEvery
 	}
@@ -257,6 +272,10 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 	if p.Procs == 1 {
 		bal = nil // one processor has nothing to balance
 	}
+	kernel, err := mpi.ParseKernel(p.Kernel)
+	if err != nil {
+		return nil, err
+	}
 	return &platform.Config{
 		Graph:            g,
 		Procs:            p.Procs,
@@ -272,6 +291,7 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 		BalanceRounds:    p.BalanceRounds,
 		Overheads:        platform.DefaultOverheads(),
 		Network:          runNet,
+		Kernel:           kernel,
 		SkipFinalGather:  true,
 		Trace:            p.Trace,
 	}, nil

@@ -1,0 +1,88 @@
+package topology
+
+// The matrix-free contract: above MatrixFreeThreshold the regular
+// constructors return a CostFn instead of a dense LinkCost matrix, and
+// the two forms must price every pair identically — the event-kernel
+// scale runs depend on crossing the threshold being invisible in the
+// virtual timeline.
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestMatrixFreeSwitchesAtThreshold(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		make func(procs int) (*Network, error)
+	}{
+		{"hypercube", Hypercube},
+		{"mesh2d", Mesh2D},
+	} {
+		dense, err := build.make(MatrixFreeThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.CostFn != nil || dense.LinkCost == nil {
+			t.Errorf("%s at the threshold should be dense", build.name)
+		}
+		sparse, err := build.make(MatrixFreeThreshold + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse.CostFn == nil || sparse.LinkCost != nil {
+			t.Errorf("%s above the threshold should be matrix-free", build.name)
+		}
+		if err := sparse.Validate(); err != nil {
+			t.Errorf("%s matrix-free form fails Validate: %v", build.name, err)
+		}
+	}
+}
+
+// TestMatrixFreeCostMatchesDense compares the CostFn formula against the
+// dense matrix at a size where both can be built, over every pair.
+func TestMatrixFreeCostMatchesDense(t *testing.T) {
+	const procs = 96 // not a power of two: exercises Dims and the hypercube enclosure
+	hyperFn := func(p, q int) float64 { return float64(bits.OnesCount(uint(p ^ q))) }
+	_, cols, err := Dims(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshFn := func(p, q int) float64 {
+		dr, dc := p/cols-q/cols, p%cols-q%cols
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		return float64(dr + dc)
+	}
+	for _, tc := range []struct {
+		name string
+		make func(procs int) (*Network, error)
+		fn   func(p, q int) float64
+	}{
+		{"hypercube", Hypercube, hyperFn},
+		{"mesh2d", Mesh2D, meshFn},
+	} {
+		dense, err := tc.make(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < procs; p++ {
+			for q := 0; q < procs; q++ {
+				want := dense.LinkCost[p][q]
+				if p == q {
+					want = 0
+				}
+				if got := tc.fn(p, q); got != want {
+					t.Fatalf("%s: formula(%d,%d) = %g, dense = %g", tc.name, p, q, got, want)
+				}
+				if got := dense.Cost(p, q); got != dense.LinkCost[p][q] {
+					t.Fatalf("%s: Cost(%d,%d) = %g, LinkCost = %g", tc.name, p, q, got, dense.LinkCost[p][q])
+				}
+			}
+		}
+	}
+}

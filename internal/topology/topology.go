@@ -18,18 +18,73 @@ type Network struct {
 	Speed []float64
 	// LinkCost[p][q] is the relative cost of sending one unit of data from
 	// p to q; symmetric, zero diagonal. For a hypercube this is the
-	// Hamming distance between p and q (store-and-forward hops).
+	// Hamming distance between p and q (store-and-forward hops). nil when
+	// the network is matrix-free (CostFn set): a dense matrix is O(P²)
+	// memory — 2 GB for a 16384-processor hypercube — which the
+	// event-kernel scale path cannot afford.
 	LinkCost [][]float64
+	// CostFn, when non-nil, computes the link cost on demand instead of
+	// LinkCost. It must satisfy the same invariants (symmetric,
+	// non-negative, zero diagonal) and, for the regular topologies that
+	// use it, evaluates the identical formula the dense constructor would
+	// have stored — so a matrix-free network prices every message
+	// bit-identically to its dense twin. Read costs through Cost, never
+	// through LinkCost directly.
+	CostFn func(p, q int) float64
 }
 
 // Procs returns the number of processors.
 func (n *Network) Procs() int { return len(n.Speed) }
+
+// Cost returns the link cost between p and q, from the dense matrix or
+// the matrix-free cost function.
+func (n *Network) Cost(p, q int) float64 {
+	if n.CostFn != nil {
+		return n.CostFn(p, q)
+	}
+	return n.LinkCost[p][q]
+}
+
+// MatrixFreeThreshold is the processor count above which the regular
+// topology constructors (Hypercube, Mesh2D) switch from a dense
+// LinkCost matrix to a matrix-free CostFn. Below it the dense matrix is
+// small and keeps every historical code path untouched; above it the
+// O(P²) matrix would dominate the memory of an event-kernel run.
+const MatrixFreeThreshold = 1024
 
 // Validate checks the structural invariants of the network.
 func (n *Network) Validate() error {
 	p := len(n.Speed)
 	if p == 0 {
 		return fmt.Errorf("topology: empty network")
+	}
+	for i, s := range n.Speed {
+		if s <= 0 {
+			return fmt.Errorf("topology: processor %d has non-positive speed %g", i, s)
+		}
+	}
+	if n.CostFn != nil && n.LinkCost == nil {
+		// Matrix-free: the full O(P²) sweep is exactly what this form
+		// exists to avoid. Check the diagonal everywhere and spot-check
+		// symmetry/sign on a deterministic stride of pairs.
+		for i := 0; i < p; i++ {
+			if c := n.CostFn(i, i); c != 0 {
+				return fmt.Errorf("topology: CostFn(%d,%d) = %g, want 0", i, i, c)
+			}
+		}
+		stride := p/64 + 1
+		for i := 0; i < p; i += stride {
+			for j := 0; j < p; j += stride {
+				c := n.CostFn(i, j)
+				if c < 0 {
+					return fmt.Errorf("topology: negative link cost at (%d,%d)", i, j)
+				}
+				if c != n.CostFn(j, i) {
+					return fmt.Errorf("topology: asymmetric link cost at (%d,%d)", i, j)
+				}
+			}
+		}
+		return nil
 	}
 	if len(n.LinkCost) != p {
 		return fmt.Errorf("topology: LinkCost has %d rows for %d procs", len(n.LinkCost), p)
@@ -50,11 +105,6 @@ func (n *Network) Validate() error {
 			}
 		}
 	}
-	for i, s := range n.Speed {
-		if s <= 0 {
-			return fmt.Errorf("topology: processor %d has non-positive speed %g", i, s)
-		}
-	}
 	return nil
 }
 
@@ -67,12 +117,15 @@ func Hypercube(procs int) (*Network, error) {
 		return nil, fmt.Errorf("topology: Hypercube needs procs >= 1, got %d", procs)
 	}
 	n := &Network{
-		Name:     fmt.Sprintf("%d-processor hypercube", procs),
-		Speed:    make([]float64, procs),
-		LinkCost: make([][]float64, procs),
+		Name:  fmt.Sprintf("%d-processor hypercube", procs),
+		Speed: unitSpeeds(procs),
 	}
+	if procs > MatrixFreeThreshold {
+		n.CostFn = func(p, q int) float64 { return float64(bits.OnesCount(uint(p ^ q))) }
+		return n, nil
+	}
+	n.LinkCost = make([][]float64, procs)
 	for p := 0; p < procs; p++ {
-		n.Speed[p] = 1
 		n.LinkCost[p] = make([]float64, procs)
 		for q := 0; q < procs; q++ {
 			if p != q {
@@ -81,6 +134,15 @@ func Hypercube(procs int) (*Network, error) {
 		}
 	}
 	return n, nil
+}
+
+// unitSpeeds returns procs homogeneous unit speeds.
+func unitSpeeds(procs int) []float64 {
+	s := make([]float64, procs)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
 }
 
 // Mesh2D returns a homogeneous 2-D mesh network over procs processors:
@@ -95,25 +157,31 @@ func Mesh2D(procs int) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{
-		Name:     fmt.Sprintf("%dx%d mesh", rows, cols),
-		Speed:    make([]float64, procs),
-		LinkCost: make([][]float64, procs),
+	manhattan := func(p, q int) float64 {
+		dr := p/cols - q/cols
+		if dr < 0 {
+			dr = -dr
+		}
+		dc := p%cols - q%cols
+		if dc < 0 {
+			dc = -dc
+		}
+		return float64(dr + dc)
 	}
+	n := &Network{
+		Name:  fmt.Sprintf("%dx%d mesh", rows, cols),
+		Speed: unitSpeeds(procs),
+	}
+	if procs > MatrixFreeThreshold {
+		n.CostFn = manhattan
+		return n, nil
+	}
+	n.LinkCost = make([][]float64, procs)
 	for p := 0; p < procs; p++ {
-		n.Speed[p] = 1
 		n.LinkCost[p] = make([]float64, procs)
 		for q := 0; q < procs; q++ {
 			if p != q {
-				dr := p/cols - q/cols
-				if dr < 0 {
-					dr = -dr
-				}
-				dc := p%cols - q%cols
-				if dc < 0 {
-					dc = -dc
-				}
-				n.LinkCost[p][q] = float64(dr + dc)
+				n.LinkCost[p][q] = manhattan(p, q)
 			}
 		}
 	}

@@ -28,13 +28,18 @@ func heatTrace(t *testing.T, buffers, network string) []byte {
 
 // heatTracePerturbed is heatTrace with a fault-injection schedule.
 func heatTracePerturbed(t *testing.T, buffers, network, perturb string) []byte {
+	return heatTraceKernel(t, buffers, network, perturb, "")
+}
+
+// heatTraceKernel is heatTracePerturbed with an explicit execution kernel.
+func heatTraceKernel(t *testing.T, buffers, network, perturb, kernel string) []byte {
 	t.Helper()
 	sc, err := scenario.Get("heat")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rec := &trace.Recorder{}
-	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Network: network, Perturb: perturb, Trace: rec}); err != nil {
+	if _, err := sc.Run(scenario.Params{Procs: 4, Iterations: 12, Buffers: buffers, Network: network, Perturb: perturb, Kernel: kernel, Trace: rec}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -76,6 +81,12 @@ func TestGoldenHeatTrace(t *testing.T) {
 	if hyper := heatTrace(t, scenario.BuffersPooled, "hypercube"); !bytes.Equal(got, hyper) {
 		t.Error("explicit hypercube differs from the scenario default")
 	}
+	// The event kernel must reproduce the goroutine kernel's golden
+	// bytes: the trace observes the virtual timeline, and the timeline
+	// is a pure function of the simulated program, not the engine.
+	if event := heatTraceKernel(t, scenario.BuffersPooled, "", "", "event"); !bytes.Equal(got, event) {
+		t.Error("event-kernel trace differs from the golden goroutine-kernel trace")
+	}
 }
 
 // TestGoldenHeatTraceBrownout extends the golden-trace contract to a
@@ -112,6 +123,12 @@ func TestGoldenHeatTraceBrownout(t *testing.T) {
 	}
 	if !bytes.Contains(got, []byte(`"speed_factor":`)) {
 		t.Error("brownout trace carries no speed_factor fields")
+	}
+	// The event kernel must reproduce the perturbed golden byte for byte:
+	// epoch advancement and time-varying pricing behave identically under
+	// the discrete-event scheduler.
+	if event := heatTraceKernel(t, scenario.BuffersPooled, "", "brownout", "event"); !bytes.Equal(got, event) {
+		t.Error("event-kernel brownout trace differs from the golden goroutine-kernel trace")
 	}
 }
 

@@ -21,6 +21,7 @@ package ic2mpi_test
 //     equals the single-address-space reference.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -104,12 +105,31 @@ func TestInvariantRandomizedSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rec := &trace.Recorder{}
-		p.Trace = rec
-		if _, err := sc.Run(p); err != nil {
-			t.Fatalf("%s: %v", label, err)
+		// Every drawn configuration runs under both execution kernels: the
+		// invariants must hold on each, and the two per-iteration traces
+		// must be byte-identical (the event kernel's equivalence property,
+		// here exercised on randomized points instead of the fixed grid of
+		// TestKernelEquivalence).
+		traces := make(map[string][]byte)
+		for _, kernel := range []string{"goroutine", "event"} {
+			kp := p
+			kp.Kernel = kernel
+			rec := &trace.Recorder{}
+			kp.Trace = rec
+			if _, err := sc.Run(kp); err != nil {
+				t.Fatalf("%s kernel=%s: %v", label, kernel, err)
+			}
+			checkSampleInvariants(t, label+" kernel="+kernel, rec)
+			var buf bytes.Buffer
+			if err := trace.WriteJSONL(&buf, rec); err != nil {
+				t.Fatalf("%s kernel=%s: encode trace: %v", label, kernel, err)
+			}
+			traces[kernel] = buf.Bytes()
 		}
-		checkSampleInvariants(t, label, rec)
+		if !bytes.Equal(traces["goroutine"], traces["event"]) {
+			t.Fatalf("%s: kernels produced diverging traces (%d vs %d bytes)",
+				label, len(traces["goroutine"]), len(traces["event"]))
+		}
 	}
 }
 
@@ -149,8 +169,15 @@ func TestInvariantMigrationConservation(t *testing.T) {
 	for _, procs := range []int{4, 8} {
 		for _, spec := range []string{"none", "brownout", "chaos"} {
 			for seed := int64(1); seed <= 3; seed++ {
-				label := fmt.Sprintf("procs=%d perturb=%s seed=%d", procs, spec, seed)
+				// Alternate kernels across seeds so the adversarial
+				// migration property is exercised on both engines.
+				kernel := ic2mpi.KernelGoroutine
+				if seed%2 == 0 {
+					kernel = ic2mpi.KernelEvent
+				}
+				label := fmt.Sprintf("procs=%d perturb=%s seed=%d kernel=%v", procs, spec, seed, kernel)
 				cfg := heatConfig(t, procs)
+				cfg.Kernel = kernel
 				cfg.Iterations = 14
 				cfg.BalanceEvery = 2
 				cfg.DisableMigrationGuard = true

@@ -1,0 +1,7 @@
+//go:build !race
+
+package ic2mpi_test
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; allocation-count pins are meaningless under instrumentation.
+const raceEnabled = false

@@ -1,0 +1,121 @@
+package ic2mpi_test
+
+// Scale smoke: the event kernel's reason to exist is worlds of thousands
+// of simulated processors on one host. These tests run the paper's
+// hex64-fine scenario at 4096 and 16384 simulated procs under the event
+// kernel and assert both completion and a per-rank memory ceiling — the
+// flat-memory property that the sparse rank bookkeeping and matrix-free
+// topologies buy. Skipped with -short; CI runs them in a dedicated job.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ic2mpi/internal/platform"
+	"ic2mpi/internal/scenario"
+)
+
+// peakMemDuring runs fn while a poller samples heap + goroutine-stack
+// usage, and returns the peak observed in-use bytes above the pre-run
+// baseline. ReadMemStats is a stop-the-world sample, so the poll period
+// is deliberately coarse.
+func peakMemDuring(fn func()) uint64 {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	baseline := base.HeapInuse + base.StackInuse
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if used := m.HeapInuse + m.StackInuse; used > peak.Load() {
+					peak.Store(used)
+				}
+			}
+		}
+	}()
+	fn()
+	// One final sample so short runs that finish between ticks still count.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if used := m.HeapInuse + m.StackInuse; used > peak.Load() {
+		peak.Store(used)
+	}
+	close(stop)
+	wg.Wait()
+	if p := peak.Load(); p > baseline {
+		return p - baseline
+	}
+	return 0
+}
+
+func TestEventKernelScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the memory ceiling")
+	}
+	sc, err := scenario.Get("hex64-fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ceiling is deliberately generous: the dominant per-rank costs
+	// are one suspended goroutine stack (the coroutine carrier the event
+	// kernel parks ranks on) plus the sparse rank state, together well
+	// under 16 KiB on every measured configuration. A regression to
+	// dense O(P) per-rank vectors or per-rank channel mailboxes blows
+	// through it by an order of magnitude.
+	const perRankCeiling = 32 << 10 // bytes
+	for _, procs := range []int{4096, 16384} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			cfg, err := sc.Config(scenario.Params{
+				Procs:      procs,
+				Kernel:     "event",
+				Iterations: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res *platform.Result
+			peak := peakMemDuring(func() {
+				var runErr error
+				res, runErr = platform.Run(*cfg)
+				if runErr != nil {
+					t.Errorf("run failed: %v", runErr)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			if res.Elapsed <= 0 {
+				t.Errorf("elapsed %v, want > 0", res.Elapsed)
+			}
+			if len(res.Stats) != procs {
+				t.Fatalf("stats for %d ranks, want %d", len(res.Stats), procs)
+			}
+			perRank := peak / uint64(procs)
+			t.Logf("procs=%d peak=%d bytes (%.1f KiB/rank)", procs, peak, float64(perRank)/1024)
+			if perRank > perRankCeiling {
+				t.Errorf("per-rank memory %d bytes exceeds ceiling %d", perRank, perRankCeiling)
+			}
+		})
+	}
+}
