@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The daemon-throughput section of docs/benchmarks.md renders from the
+// pinned load-test record BENCH_daemon_throughput.json at the repository
+// root. Unlike the virtual-time sections, these are host-time numbers:
+// docgen does not re-measure them — it renders whatever the checked-in
+// record says, so the section is still a deterministic function of the
+// repository contents, and the record is refreshed by re-running the
+// command it names and updating the JSON.
+
+const daemonBenchFile = "BENCH_daemon_throughput.json"
+
+// daemonBenchRecord mirrors BENCH_daemon_throughput.json.
+type daemonBenchRecord struct {
+	Recorded string   `json:"recorded"`
+	Command  string   `json:"command"`
+	Clients  int      `json:"clients"`
+	JobMix   []string `json:"job_mix"`
+	Rows     []struct {
+		Mode       string  `json:"mode"`
+		Jobs       int     `json:"jobs"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+		P50QueueMS float64 `json:"p50_queue_ms"`
+		P99QueueMS float64 `json:"p99_queue_ms"`
+	} `json:"rows"`
+	RaceAcceptance struct {
+		CompletedJobs int `json:"completed_jobs"`
+		RaceFindings  int `json:"race_findings"`
+	} `json:"race_acceptance"`
+}
+
+// findUp locates name in the working directory or any ancestor — docgen
+// runs from the repository root, the experiments test suite from
+// internal/experiments, and both must resolve the same pinned record.
+func findUp(name string) (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("experiments: %s not found in the working directory or any ancestor", name)
+		}
+		dir = parent
+	}
+}
+
+// daemonThroughput renders the daemon load-test table.
+func daemonThroughput() (string, error) {
+	path, err := findUp(daemonBenchFile)
+	if err != nil {
+		return "", err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var rec daemonBenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return "", fmt.Errorf("experiments: parsing %s: %w", daemonBenchFile, err)
+	}
+	if len(rec.Rows) == 0 {
+		return "", fmt.Errorf("experiments: %s has no rows", daemonBenchFile)
+	}
+	var b strings.Builder
+	b.WriteString("| cache | jobs | jobs/sec | p50 queue (ms) | p99 queue (ms) |\n")
+	b.WriteString("|---|---:|---:|---:|---:|\n")
+	for _, r := range rec.Rows {
+		fmt.Fprintf(&b, "| %s | %d | %s | %s | %s |\n",
+			r.Mode, r.Jobs, ftoa(r.JobsPerSec), ftoa(r.P50QueueMS), ftoa(r.P99QueueMS))
+	}
+	fmt.Fprintf(&b, "\nRecorded %s with %d concurrent clients over the mix %s, via `%s`.",
+		rec.Recorded, rec.Clients, strings.Join(rec.JobMix, ", "), rec.Command)
+	if rec.RaceAcceptance.CompletedJobs > 0 {
+		fmt.Fprintf(&b, " Race acceptance: %d completed jobs under `-race` with %d findings.",
+			rec.RaceAcceptance.CompletedJobs, rec.RaceAcceptance.RaceFindings)
+	}
+	return b.String(), nil
+}

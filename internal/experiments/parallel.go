@@ -61,14 +61,14 @@ func forEachParallel(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// runScenarioAll executes every parameter set against sc on the worker
-// pool and returns results in input order, failing on the first error in
-// input order.
-func runScenarioAll(sc scenario.Scenario, params []scenario.Params) ([]*scenario.Result, error) {
+// runCellsAll executes every parameter set against sc through run on the
+// worker pool and returns results in input order, failing on the first
+// error in input order.
+func runCellsAll(sc scenario.Scenario, params []scenario.Params, run CellRunner) ([]*scenario.Result, error) {
 	results := make([]*scenario.Result, len(params))
 	errs := make([]error, len(params))
 	forEachParallel(len(params), func(i int) {
-		results[i], errs[i] = sc.Run(params[i])
+		results[i], errs[i] = run(sc, i, params[i])
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -260,19 +260,14 @@ func RunTraced(sc scenario.Scenario, ax Axes, rec *trace.Recorder) (*SweepReport
 	}, nil
 }
 
-// RunSweep executes the cartesian sweep of sc over ax. Runs execute
-// concurrently on the bounded worker pool (see Parallelism), but rows are
-// assembled in deterministic axis order, so the report — and any encoding
-// of it — is byte-identical at any parallelism.
-func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
+// Cells enumerates the sweep's parameter combinations in deterministic
+// axis order: iterations, partitioner, exchange, buffers, balancer,
+// network, perturbation, kernel, then processor count innermost — so each
+// contiguous chunk of len(ax.Procs) cells forms one speedup group. This
+// is the exact run order RunSweep assembles rows in, and the unit the
+// daemon's result cache keys on (one CellKey per cell).
+func (ax Axes) Cells() []scenario.Params {
 	ax = ax.normalize()
-	rep := &SweepReport{
-		ID:       "sweep-" + sc.Name,
-		Title:    fmt.Sprintf("Sweep of scenario %s: %s", sc.Name, sc.Description),
-		Scenario: sc.Name,
-	}
-	// Enumerate every run up front, processor count innermost so each
-	// contiguous chunk of len(ax.Procs) results forms one speedup group.
 	params := make([]scenario.Params, 0, ax.Size())
 	for _, iters := range ax.Iterations {
 		for _, part := range ax.Partitioners {
@@ -303,7 +298,38 @@ func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
 			}
 		}
 	}
-	results, err := runScenarioAll(sc, params)
+	return params
+}
+
+// CellRunner executes one sweep cell: cell i of the Cells() enumeration,
+// at parameters p. RunSweepWith calls it concurrently from the bounded
+// worker pool; implementations must be safe for that.
+type CellRunner func(sc scenario.Scenario, i int, p scenario.Params) (*scenario.Result, error)
+
+// RunSweep executes the cartesian sweep of sc over ax. Runs execute
+// concurrently on the bounded worker pool (see Parallelism), but rows are
+// assembled in deterministic axis order, so the report — and any encoding
+// of it — is byte-identical at any parallelism.
+func RunSweep(sc scenario.Scenario, ax Axes) (*SweepReport, error) {
+	return RunSweepWith(sc, ax, func(sc scenario.Scenario, _ int, p scenario.Params) (*scenario.Result, error) {
+		return sc.Run(p)
+	})
+}
+
+// RunSweepWith is RunSweep with a custom per-cell runner — the seam the
+// daemon's cell cache plugs into: a runner may serve a cell from a cache
+// instead of simulating it, and because every run is a pure function of
+// its normalized parameters, the assembled report is byte-identical
+// either way.
+func RunSweepWith(sc scenario.Scenario, ax Axes, run CellRunner) (*SweepReport, error) {
+	ax = ax.normalize()
+	rep := &SweepReport{
+		ID:       "sweep-" + sc.Name,
+		Title:    fmt.Sprintf("Sweep of scenario %s: %s", sc.Name, sc.Description),
+		Scenario: sc.Name,
+	}
+	params := ax.Cells()
+	results, err := runCellsAll(sc, params, run)
 	if err != nil {
 		return nil, err
 	}

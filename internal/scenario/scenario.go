@@ -142,6 +142,15 @@ type Scenario struct {
 	Runner func(sc Scenario, p Params) (*Result, error)
 }
 
+// Normalize fills p's zero fields from the scenario's and the package's
+// defaults and validates the enumerated fields, without running anything.
+// Two parameter sets that Normalize to the same value select the same
+// deterministic run — the property the daemon's result cache keys on
+// (see experiments.CellKey).
+func (sc Scenario) Normalize(p Params) (Params, error) {
+	return sc.normalize(p)
+}
+
 // normalize fills p's zero fields from the scenario's and the package's
 // defaults and validates the enumerated fields.
 func (sc Scenario) normalize(p Params) (Params, error) {
@@ -198,6 +207,9 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 			p.Iterations = sc.Iterations
 		}
 	}
+	if p.Iterations < 1 {
+		return p, fmt.Errorf("scenario %s: iterations must be >= 1, got %d", sc.Name, p.Iterations)
+	}
 	if p.Kernel == "" {
 		if p.Kernel = def.Kernel; p.Kernel == "" {
 			p.Kernel = mpi.KernelNameGoroutine
@@ -220,6 +232,12 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 		if p.Buffers != BuffersPooled && p.Buffers != BuffersUnpooled {
 			return p, fmt.Errorf("scenario %s: unknown buffer mode %q (want %s or %s)",
 				sc.Name, p.Buffers, BuffersPooled, BuffersUnpooled)
+		}
+		if !knownName(p.Partitioner, Partitioners()) {
+			return p, fmt.Errorf("scenario %s: unknown partitioner %q (known: %v)", sc.Name, p.Partitioner, Partitioners())
+		}
+		if !knownName(p.Balancer, Balancers()) {
+			return p, fmt.Errorf("scenario %s: unknown balancer %q (known: %v)", sc.Name, p.Balancer, Balancers())
 		}
 	}
 	return p, nil
@@ -389,7 +407,12 @@ func PartitionOn(name string, g *graph.Graph, k int, model netmodel.Model) ([]in
 // normalize uses it so validation does not construct (and discard) the
 // model's link matrix on every run.
 func knownNetwork(name string) bool {
-	for _, n := range netmodel.Names() {
+	return knownName(name, netmodel.Names())
+}
+
+// knownName reports whether name appears in the accepted list.
+func knownName(name string, known []string) bool {
+	for _, n := range known {
 		if n == name {
 			return true
 		}

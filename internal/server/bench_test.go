@@ -1,0 +1,144 @@
+package server
+
+// BenchmarkDaemonThroughput is the daemon load test: concurrent clients
+// push small heat jobs through a real httptest listener — submit, follow
+// the stream to the final state line, fetch the job document — and the
+// benchmark reports jobs/sec plus p50/p99 queue latency from the
+// daemon's own queue_ns accounting. The "cold" variant disables the
+// cell cache (every job simulates); "cached" runs a warmed cache, so the
+// spread between the two is the cache's whole-job win.
+//
+// The pinned numbers live in BENCH_daemon_throughput.json and render
+// into docs/benchmarks.md via the daemon-throughput docgen section:
+//
+//	go test -race -run '^$' -bench BenchmarkDaemonThroughput -benchtime 300x ./internal/server/
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchSpecs is the job mix: three sizes of the heat scenario, distinct
+// cells so the cold run never self-caches across jobs of the same spec.
+var benchSpecs = []string{
+	`{"scenario":"heat","sweep":"procs=2;iters=2"}`,
+	`{"scenario":"heat","sweep":"procs=4;iters=2"}`,
+	`{"scenario":"heat","sweep":"procs=8;iters=3"}`,
+}
+
+func BenchmarkDaemonThroughput(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchDaemon(b, -1) })
+	b.Run("cached", func(b *testing.B) { benchDaemon(b, 0) })
+}
+
+func benchDaemon(b *testing.B, cacheCells int) {
+	srv := New(Config{CacheCells: cacheCells, QueueDepth: 1 << 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		srv.Close()
+		ts.Close()
+	}()
+	client := ts.Client()
+
+	runJob := func(spec string) (queueNS int64, err error) {
+		res, err := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return 0, err
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusCreated {
+			return 0, fmt.Errorf("submit: %d %s", res.StatusCode, body)
+		}
+		var doc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return 0, err
+		}
+		// Following the stream to EOF is the cheapest "wait for done":
+		// the handler returns at the final state line, no polling.
+		res, err = client.Get(ts.URL + "/v1/jobs/" + doc.ID + "/stream")
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		res, err = client.Get(ts.URL + "/v1/jobs/" + doc.ID)
+		if err != nil {
+			return 0, err
+		}
+		var view struct {
+			State   string `json:"state"`
+			QueueNS int64  `json:"queue_ns"`
+		}
+		err = json.NewDecoder(res.Body).Decode(&view)
+		res.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if view.State != StateDone {
+			return 0, fmt.Errorf("job %s finished %s", doc.ID, view.State)
+		}
+		return view.QueueNS, nil
+	}
+
+	if cacheCells == 0 {
+		for _, spec := range benchSpecs { // warm every cell the mix uses
+			if _, err := runJob(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	const clients = 8
+	queueNS := make([]int64, b.N)
+	var next atomic.Int64
+	next.Store(-1)
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= b.N {
+					return
+				}
+				ns, err := runJob(benchSpecs[i%len(benchSpecs)])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				queueNS[i] = ns
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+
+	sort.Slice(queueNS, func(i, k int) bool { return queueNS[i] < queueNS[k] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(queueNS)-1))
+		return float64(queueNS[i]) / 1e6
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+	b.ReportMetric(pct(0.50), "p50-queue-ms")
+	b.ReportMetric(pct(0.99), "p99-queue-ms")
+}

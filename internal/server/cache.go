@@ -1,0 +1,85 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"ic2mpi/internal/scenario"
+)
+
+// cellCache is the daemon's LRU over completed sweep cells, keyed by
+// experiments.CellKey. Because every cell is a pure function of its key,
+// a hit returns exactly the Result a fresh run would produce — the cache
+// trades CPU for memory with no observable difference in output bytes.
+// Cached Results are shared across jobs and must be treated as immutable
+// by all readers (the report assembler only copies them by value).
+type cellCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	byKey   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key string
+	res *scenario.Result
+}
+
+// newCellCache builds a cache holding at most max cells; max <= 0
+// disables caching entirely (every lookup misses, nothing is stored).
+func newCellCache(max int) *cellCache {
+	return &cellCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *cellCache) get(key string) (*scenario.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores res under key, evicting the least recently used cell when
+// the cache is full. Storing an already-present key only refreshes it —
+// determinism guarantees the value is identical.
+func (c *cellCache) put(key string, res *scenario.Result) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// CacheStats is the cache section of GET /v1/stats.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Max       int   `json:"max"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *cellCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Max: c.max, Hits: c.hits, Misses: c.misses, Evictions: c.evicted}
+}

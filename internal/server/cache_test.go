@@ -1,0 +1,129 @@
+package server
+
+// Determinism-as-caching: every sweep cell is a pure function of its
+// normalized parameters, so a cache hit must be byte-identical to a
+// fresh run — not approximately equal, identical. These tests pin that
+// property end to end over HTTP, plus the LRU mechanics in isolation.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"ic2mpi/internal/scenario"
+)
+
+func TestCellCacheLRU(t *testing.T) {
+	c := newCellCache(2)
+	ra, rb, rc := &scenario.Result{}, &scenario.Result{}, &scenario.Result{}
+	c.put("a", ra)
+	c.put("b", rb)
+	if got, ok := c.get("a"); !ok || got != ra {
+		t.Fatal("a should hit")
+	}
+	c.put("c", rc) // evicts b: a was refreshed by the get above
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should survive the eviction")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should hit")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Max != 2 || st.Hits != 3 || st.Misses != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 3 hits, 1 miss, 1 eviction", st)
+	}
+	// Re-putting a present key refreshes rather than duplicates.
+	c.put("a", ra)
+	if st := c.stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("after duplicate put: %+v", st)
+	}
+}
+
+func TestCellCacheDisabled(t *testing.T) {
+	c := newCellCache(-1)
+	c.put("a", &scenario.Result{})
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache must never hit")
+	}
+	if st := c.stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDeterminismAsCaching submits the same hex64-fine sweep twice and
+// asserts the second run is served entirely from the cache with
+// byte-identical result bytes — and that both match a direct
+// experiments-engine run of the same spec.
+func TestDeterminismAsCaching(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := `{"scenario":"hex64-fine","sweep":"procs=1,2,4,8;iters=3"}`
+
+	id1, _ := submit(t, ts, spec, nil)
+	waitFinal(t, ts, id1)
+	first := do(t, ts, "GET", "/v1/jobs/"+id1+"/result", "", nil)
+	if first.status != http.StatusOK {
+		t.Fatalf("first result: %d\n%s", first.status, first.body)
+	}
+	if h := first.header.Get("X-Cache-Hits"); h != "0" {
+		t.Fatalf("first run X-Cache-Hits = %q, want 0", h)
+	}
+
+	id2, _ := submit(t, ts, spec, nil)
+	doc := decodeJob(t, waitFinal(t, ts, id2).body)
+	if doc.CacheHits != 4 || doc.CellsDone != 4 {
+		t.Fatalf("second run: %+v, want all 4 cells from cache", doc)
+	}
+	second := do(t, ts, "GET", "/v1/jobs/"+id2+"/result", "", nil)
+	if h := second.header.Get("X-Cache-Hits"); h != "4" {
+		t.Errorf("second run X-Cache-Hits = %q, want 4", h)
+	}
+	if !bytes.Equal(first.body, second.body) {
+		t.Errorf("cache hit is not byte-identical to the miss\nfirst:\n%s\nsecond:\n%s", first.body, second.body)
+	}
+
+	if !bytes.Equal(first.body, directSweepBytes(t, "hex64-fine", "procs=1,2,4,8;iters=3", "json")) {
+		t.Error("daemon result differs from a direct experiments run of the same spec")
+	}
+}
+
+// TestCachePartialOverlap submits a sweep sharing two of three cells
+// with an earlier one: exactly the shared cells hit, and the report is
+// still byte-identical to an uncached engine run.
+func TestCachePartialOverlap(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id, _ := submit(t, ts, `{"scenario":"heat","sweep":"procs=1,2,4;iters=3"}`, nil)
+	waitFinal(t, ts, id)
+
+	id, _ = submit(t, ts, `{"scenario":"heat","sweep":"procs=2,4,8;iters=3"}`, nil)
+	doc := decodeJob(t, waitFinal(t, ts, id).body)
+	if doc.CacheHits != 2 || doc.CellsDone != 3 {
+		t.Fatalf("overlap run: %+v, want 2 of 3 cells cached", doc)
+	}
+	res := do(t, ts, "GET", "/v1/jobs/"+id+"/result", "", nil)
+	if !bytes.Equal(res.body, directSweepBytes(t, "heat", "procs=2,4,8;iters=3", "json")) {
+		t.Error("partially cached result differs from a direct experiments run")
+	}
+}
+
+// TestCacheDisabledServer pins that a daemon with caching disabled still
+// returns byte-identical results for repeated submissions — determinism
+// does not depend on the cache; the cache only exploits it.
+func TestCacheDisabledServer(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheCells: -1})
+	spec := `{"scenario":"heat","sweep":"procs=1,2;iters=3"}`
+	id1, _ := submit(t, ts, spec, nil)
+	waitFinal(t, ts, id1)
+	id2, _ := submit(t, ts, spec, nil)
+	doc := decodeJob(t, waitFinal(t, ts, id2).body)
+	if doc.CacheHits != 0 {
+		t.Fatalf("disabled cache recorded %d hits", doc.CacheHits)
+	}
+	r1 := do(t, ts, "GET", "/v1/jobs/"+id1+"/result", "", nil)
+	r2 := do(t, ts, "GET", "/v1/jobs/"+id2+"/result", "", nil)
+	if !bytes.Equal(r1.body, r2.body) {
+		t.Error("repeated uncached runs are not byte-identical")
+	}
+}

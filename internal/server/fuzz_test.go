@@ -1,0 +1,61 @@
+package server
+
+// FuzzJobSpec hardens the daemon's input boundary: DecodeJobSpec parses
+// attacker-controlled JSON into an experiments.Axes sweep space, and
+// must never panic and never accept a spec that violates its own
+// invariants (unknown format, over-cap sweep, multi-cell trace,
+// non-normalizable cell). Seed corpus: testdata/fuzz/FuzzJobSpec.
+
+import (
+	"testing"
+)
+
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		`{"scenario":"heat","sweep":"procs=1,2;iters=4"}`,
+		`{"scenario":"hex64-fine"}`,
+		`{"scenario":"heat","axes":{"procs":[1,2,4],"networks":["uniform","hypercube"]},"format":"csv"}`,
+		`{"scenario":"imbalance","sweep":"procs=4;iters=8","trace":true}`,
+		`{"scenario":"heat","sweep":"procs=1;balancer=centralized;perturb=brownout:2:4:0.5"}`,
+		`{"scenario":"nope"}`,
+		`{"scenario":"heat","sweep":"procs=0"}`,
+		`{"scenario":"heat","format":"xml"}`,
+		`{"scenario":"heat","axes":{"iterations":[-1]}}`,
+		`{"scenario":"heat","sweep":"procs=1,2","trace":true}`,
+		`{"scenario":"heat","axes":{"procs":[1]},"sweep":"procs=2"}`,
+		`{"scenario":"heat"} {}`,
+		`[1,2,3]`,
+		`{"scenario":"heat","bogus":true}`,
+		`not json at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxCells = 64
+	f.Fuzz(func(t *testing.T, body []byte) {
+		spec, sc, err := DecodeJobSpec(body, maxCells)
+		if err != nil {
+			return
+		}
+		// Accepted specs must uphold the invariants the executor relies on.
+		switch spec.Format {
+		case "json", "csv", "text":
+		default:
+			t.Fatalf("accepted spec with format %q", spec.Format)
+		}
+		if n := spec.Axes.Size(); n < 1 || n > maxCells {
+			t.Fatalf("accepted spec with %d cells (cap %d)", n, maxCells)
+		}
+		if spec.Trace {
+			if _, err := spec.Axes.Single(); err != nil {
+				t.Fatalf("accepted multi-cell trace spec: %v", err)
+			}
+		}
+		for _, p := range spec.Axes.Cells() {
+			if _, err := sc.Normalize(p); err != nil {
+				t.Fatalf("accepted spec with non-normalizable cell %+v: %v", p, err)
+			}
+		}
+	})
+}

@@ -45,26 +45,60 @@ type seriesLine struct {
 	Derived
 }
 
+// marshalLine encodes one JSONL line: compact JSON plus the trailing
+// newline, exactly what json.Encoder.Encode emits.
+func marshalLine(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// SampleLine encodes the canonical "sample" JSONL line for s — the exact
+// bytes WriteJSONL emits for that record, newline included. Live
+// streamers use these per-line encoders so a streamed trace is
+// byte-identical to the post-run file.
+func SampleLine(s Sample) ([]byte, error) {
+	return marshalLine(sampleLine{Kind: "sample", Sample: s})
+}
+
+// MigrationLine encodes the canonical "migration" JSONL line for m.
+func MigrationLine(m Migration) ([]byte, error) {
+	return marshalLine(migrationLine{Kind: "migration", Migration: m})
+}
+
+// SeriesLine encodes the canonical "series" JSONL line for d.
+func SeriesLine(d Derived) ([]byte, error) {
+	return marshalLine(seriesLine{Kind: "series", Derived: d})
+}
+
 // WriteJSONL writes the trace as JSON Lines, interleaved in iteration
 // order: for each iteration, one "sample" line per processor (rank
 // ascending), then any "migration" lines executed by that iteration's
 // balancing invocation, then one "series" line with the derived metrics.
 func WriteJSONL(w io.Writer, r *Recorder) error {
-	enc := json.NewEncoder(w)
 	migs := r.Migrations()
+	write := func(line []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(line)
+		return err
+	}
 	for it := 1; it <= r.iters; it++ {
 		for p := 0; p < r.procs; p++ {
-			if err := enc.Encode(sampleLine{Kind: "sample", Sample: r.samples[(it-1)*r.procs+p]}); err != nil {
+			if err := write(SampleLine(r.samples[(it-1)*r.procs+p])); err != nil {
 				return err
 			}
 		}
 		for len(migs) > 0 && migs[0].Iter == it {
-			if err := enc.Encode(migrationLine{Kind: "migration", Migration: migs[0]}); err != nil {
+			if err := write(MigrationLine(migs[0])); err != nil {
 				return err
 			}
 			migs = migs[1:]
 		}
-		if err := enc.Encode(seriesLine{Kind: "series", Derived: r.series[it-1]}); err != nil {
+		if err := write(SeriesLine(r.series[it-1])); err != nil {
 			return err
 		}
 	}

@@ -95,6 +95,26 @@ type Derived struct {
 	EdgeCut int `json:"edge_cut"`
 }
 
+// Sink observes trace records the moment they are recorded, before the
+// run finishes — the live-streaming seam the daemon's SSE/NDJSON trace
+// endpoint builds on. A Sink must not block for long (it runs on the
+// simulated ranks' host goroutines) and must tolerate the recording
+// concurrency: OnSample may be called concurrently from different ranks,
+// while OnMigration and OnEdgeCut are only called from rank 0.
+//
+// Ordering guarantee (from the platform's emission points): by the time
+// rank 0's OnSample for iteration i+1 arrives, every migration and the
+// edge-cut of iteration i have been delivered — rank 0 records its sample
+// after balancing and its edge-cut immediately after the sample. A
+// streamer that releases iteration i only once all of iteration i's
+// samples AND rank 0's sample for i+1 (or the end of the run) have
+// arrived therefore sees final, complete iterations.
+type Sink interface {
+	OnSample(Sample)
+	OnMigration(Migration)
+	OnEdgeCut(iter, cut int)
+}
+
 // Recorder collects one run's trace. The zero value is ready: Start sizes
 // it for a run, Record* fill it, Finish computes the derived series.
 //
@@ -108,7 +128,13 @@ type Recorder struct {
 	samples      []Sample
 	series       []Derived
 	migrations   []Migration
+	sink         Sink
 }
+
+// SetSink attaches a live observer to the recorder; nil detaches. Set it
+// before the run starts — it is not synchronized with in-flight Record*
+// calls. A nil sink costs one predictable branch per record.
+func (r *Recorder) SetSink(s Sink) { r.sink = s }
 
 // Start sizes the recorder for a run of procs processors over iters
 // iterations, discarding any previous run's data. The platform calls it
@@ -147,11 +173,17 @@ func (r *Recorder) RecordSample(s Sample) {
 			s.Iter, s.Proc, r.procs, r.iters))
 	}
 	r.samples[(s.Iter-1)*r.procs+s.Proc] = s
+	if r.sink != nil {
+		r.sink.OnSample(s)
+	}
 }
 
 // RecordMigration appends one executed migration. Rank 0 only.
 func (r *Recorder) RecordMigration(m Migration) {
 	r.migrations = append(r.migrations, m)
+	if r.sink != nil {
+		r.sink.OnMigration(m)
+	}
 }
 
 // RecordEdgeCut stores the live edge-cut at the end of iter. Rank 0 only.
@@ -160,22 +192,36 @@ func (r *Recorder) RecordEdgeCut(iter, cut int) {
 		panic(fmt.Sprintf("trace: RecordEdgeCut(iter=%d) outside Start(%d, %d)", iter, r.procs, r.iters))
 	}
 	r.series[iter-1].EdgeCut = cut
+	if r.sink != nil {
+		r.sink.OnEdgeCut(iter, cut)
+	}
+}
+
+// ImbalanceOf returns the load-imbalance ratio of one iteration's sample
+// row: max over mean per-processor compute time (1.0 = perfectly
+// balanced; 0 when the row recorded no compute time). Finish derives the
+// per-iteration series with it, and live streamers reuse it so streamed
+// series lines match the post-run encoding exactly.
+func ImbalanceOf(row []Sample) float64 {
+	max, sum := 0.0, 0.0
+	for _, s := range row {
+		if s.ComputeS > max {
+			max = s.ComputeS
+		}
+		sum += s.ComputeS
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return max * float64(len(row)) / sum
 }
 
 // Finish computes the derived per-iteration imbalance ratio from the
 // recorded samples. The platform calls it after every rank has finished.
 func (r *Recorder) Finish() {
 	for it := 0; it < r.iters; it++ {
-		row := r.samples[it*r.procs : (it+1)*r.procs]
-		max, sum := 0.0, 0.0
-		for _, s := range row {
-			if s.ComputeS > max {
-				max = s.ComputeS
-			}
-			sum += s.ComputeS
-		}
-		if sum > 0 {
-			r.series[it].Imbalance = max * float64(r.procs) / sum
+		if v := ImbalanceOf(r.samples[it*r.procs : (it+1)*r.procs]); v > 0 {
+			r.series[it].Imbalance = v
 		}
 	}
 }
