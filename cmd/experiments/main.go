@@ -14,6 +14,10 @@
 //	experiments -scenario hex64-fine -sweep "procs=4096" -kernel event
 //	experiments -scenario heat -format json > heat.json
 //	experiments -scenario heat -sweep "procs=4" -trace heat.jsonl
+//	experiments -scenario heat -sweep "procs=4" -checkpoint heat.ckpt
+//	experiments -scenario heat -sweep "procs=4" -resume heat.ckpt
+//	experiments -scenario heat -sweep "procs=1,2,4" -shard 1/4 -manifest m1.json
+//	experiments -scenario heat -sweep "procs=1,2,4" -merge -manifest m1.json,m2.json,m3.json,m4.json
 //
 // The -sweep specification is semicolon-separated axis=value,value pairs
 // over the axes procs, partitioner, exchange (basic|overlap), buffers
@@ -34,6 +38,23 @@
 // the path ends in .csv, or JSONL on stdout for "-". It requires
 // -scenario with at most one value per sweep axis.
 //
+// -checkpoint writes a versioned snapshot of one run's complete state to
+// a file at every fault-epoch boundary (every -checkpoint-every
+// iterations); -resume restores a run from such a snapshot and replays
+// only the remaining iterations, producing output byte-identical to the
+// uninterrupted run. Snapshots carry the run's cell key, and -resume
+// refuses a snapshot taken under different parameters. Both require
+// -scenario with at most one value per sweep axis.
+//
+// -shard i/n runs the i-th of n contiguous chunks of a sweep,
+// coordinated through the -manifest file: the manifest lists every cell
+// with its key, owning shard and completion state, is created on first
+// use and updated as cells finish, and re-running the same command
+// resumes the shard, executing only its remaining cells. -merge reads
+// one or more completed manifests (comma-separated), combines them, and
+// emits the exact report — byte-identical in every format — that the
+// unsharded sweep would have produced. See docs/sharding.md.
+//
 // All results are deterministic virtual times: the same invocation
 // produces byte-identical output on any host, so JSON sweeps are directly
 // comparable across commits (CI archives one as a workflow artifact).
@@ -47,8 +68,11 @@ import (
 	"os"
 	"strings"
 
+	"ic2mpi/internal/checkpoint"
 	"ic2mpi/internal/experiments"
+	"ic2mpi/internal/platform"
 	"ic2mpi/internal/scenario"
+	"ic2mpi/internal/shard"
 	"ic2mpi/internal/trace"
 )
 
@@ -66,6 +90,12 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent sweep runs; 0 means number of CPUs")
 	format := flag.String("format", "text", "output format: text, json or csv")
 	tracePath := flag.String("trace", "", `write a per-iteration trace of one -scenario run: JSONL, CSV when the path ends in .csv, or "-" for JSONL on stdout`)
+	checkpointPath := flag.String("checkpoint", "", "write an epoch-boundary snapshot of one -scenario run to this file (see -checkpoint-every)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "iterations between snapshots written to -checkpoint")
+	resumePath := flag.String("resume", "", "restore one -scenario run from a -checkpoint snapshot file and replay the remaining iterations")
+	shardSpec := flag.String("shard", "", `run one contiguous chunk of the sweep: "i/n" (1-based shard i of n), coordinated through -manifest`)
+	manifestPath := flag.String("manifest", "", "sharded-sweep manifest file (-shard), or comma-separated completed manifests (-merge)")
+	merge := flag.Bool("merge", false, "combine the completed -manifest file(s) into the sweep report an unsharded run would produce")
 	flag.Parse()
 	experiments.Parallelism = *parallel
 
@@ -97,28 +127,49 @@ func main() {
 		}
 		applyAxisFlag(*network, "network", &ax.Networks)
 		applyAxisFlag(*perturb, "perturb", &ax.Perturbs)
-		if *tracePath != "" {
-			rec := &trace.Recorder{}
-			rep, err := experiments.RunTraced(sc, ax, rec)
+		applyAxisFlag(*kernel, "kernel", &ax.Kernels)
+		switch {
+		case *merge:
+			if *shardSpec != "" || *tracePath != "" || *checkpointPath != "" || *resumePath != "" {
+				log.Fatal("-merge is mutually exclusive with -shard, -trace, -checkpoint and -resume")
+			}
+			rep, err := mergeManifests(sc, *manifestPath)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := writeTrace(*tracePath, rec); err != nil {
+			reports = append(reports, rep)
+		case *shardSpec != "":
+			if *tracePath != "" || *checkpointPath != "" || *resumePath != "" {
+				log.Fatal("-shard is mutually exclusive with -trace, -checkpoint and -resume")
+			}
+			if err := runShard(sc, *sweep, ax, *shardSpec, *manifestPath); err != nil {
 				log.Fatal(err)
 			}
-			if *tracePath == "-" {
+			return // progress goes to stderr; -merge emits the report
+		case *manifestPath != "":
+			log.Fatal("-manifest requires -shard or -merge")
+		case *tracePath != "" || *checkpointPath != "" || *resumePath != "":
+			rep, emit, err := runSingle(sc, ax, *tracePath, *checkpointPath, *checkpointEvery, *resumePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !emit {
 				return // stdout carries the trace; no report
 			}
 			reports = append(reports, rep)
-			break
+		default:
+			rep, err := experiments.RunSweep(sc, ax)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reports = append(reports, rep)
 		}
-		rep, err := experiments.RunSweep(sc, ax)
-		if err != nil {
-			log.Fatal(err)
-		}
-		reports = append(reports, rep)
 	case *tracePath != "":
 		log.Fatal("-trace requires -scenario (see -list for scenario names)")
+	case *checkpointPath != "" || *resumePath != "":
+		log.Fatal("-checkpoint/-resume require -scenario (see -list for scenario names)")
+	case *shardSpec != "" || *manifestPath != "" || *merge:
+		log.Fatal("-shard/-manifest/-merge require -scenario (see -list for scenario names)")
 	case *sweep != "":
 		log.Fatal("-sweep requires -scenario (see -list for scenario names)")
 	case *network != "":
@@ -171,6 +222,161 @@ func applyAxisFlag(val, name string, axis *[]string) {
 			*axis = append(*axis, v)
 		}
 	}
+}
+
+// runSingle executes the single parameter combination described by ax
+// with any of tracing, checkpointing and snapshot-resume attached, and
+// returns the one-row report. emit is false when the trace went to
+// stdout and no report should be printed.
+func runSingle(sc scenario.Scenario, ax experiments.Axes, tracePath, checkpointPath string, checkpointEvery int, resumePath string) (rep *experiments.SweepReport, emit bool, err error) {
+	p, err := ax.Single()
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := experiments.CellKey(sc, p)
+	if err != nil {
+		return nil, false, err
+	}
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			return nil, false, err
+		}
+		meta, snap, err := checkpoint.Decode(data)
+		if err != nil {
+			return nil, false, err
+		}
+		if meta.CellKey != key {
+			return nil, false, fmt.Errorf("snapshot %s was taken for run\n  %s\nbut this invocation selects\n  %s\nrefusing to resume a different run", resumePath, meta.CellKey, key)
+		}
+		p.ResumeFrom = snap
+		log.Printf("resuming %s from %s at iteration %d of %d", sc.Name, resumePath, snap.Iter, snap.Iterations)
+	}
+	if checkpointPath != "" {
+		p.CheckpointEvery = checkpointEvery
+		p.CheckpointSink = func(s *platform.RunSnapshot) error {
+			data, err := checkpoint.Encode(checkpoint.Meta{CellKey: key}, s)
+			if err != nil {
+				return err
+			}
+			return atomicWrite(checkpointPath, data)
+		}
+	}
+	var rec *trace.Recorder
+	if tracePath != "" {
+		rec = &trace.Recorder{}
+		p.Trace = rec
+	}
+	res, err := sc.Run(p)
+	if err != nil {
+		return nil, false, err
+	}
+	if tracePath != "" {
+		if err := writeTrace(tracePath, rec); err != nil {
+			return nil, false, err
+		}
+		if tracePath == "-" {
+			return nil, false, nil
+		}
+	}
+	return &experiments.SweepReport{
+		ID:       "sweep-" + sc.Name,
+		Title:    fmt.Sprintf("Sweep of scenario %s: %s", sc.Name, sc.Description),
+		Scenario: sc.Name,
+		Rows:     []experiments.SweepRow{{Result: *res}},
+	}, true, nil
+}
+
+// runShard executes one shard of the sweep, coordinated through the
+// manifest file: created on first use, loaded and verified against the
+// requested sweep otherwise, and rewritten after the shard's remaining
+// cells complete.
+func runShard(sc scenario.Scenario, spec string, ax experiments.Axes, shardSpec, manifestPath string) error {
+	if manifestPath == "" {
+		return fmt.Errorf("-shard requires -manifest (the file coordinating the sharded sweep)")
+	}
+	index, shards, err := shard.ParseShardSpec(shardSpec)
+	if err != nil {
+		return err
+	}
+	fresh, err := shard.New(sc, spec, ax, shards)
+	if err != nil {
+		return err
+	}
+	m := fresh
+	if data, err := os.ReadFile(manifestPath); err == nil {
+		if m, err = shard.Parse(data); err != nil {
+			return fmt.Errorf("%s: %w", manifestPath, err)
+		}
+		// The manifest must describe exactly the sweep this invocation
+		// names — same scenario, shard count and cell keys — so a stale
+		// or foreign manifest cannot silently absorb this shard's work.
+		if m.Scenario != fresh.Scenario || m.Shards != fresh.Shards || len(m.Cells) != len(fresh.Cells) {
+			return fmt.Errorf("%s tracks a different sweep than this invocation (scenario %s, %d shards, %d cells)", manifestPath, m.Scenario, m.Shards, len(m.Cells))
+		}
+		for i := range m.Cells {
+			if m.Cells[i].Key != fresh.Cells[i].Key {
+				return fmt.Errorf("%s cell %d is %q, this invocation's sweep has %q", manifestPath, i, m.Cells[i].Key, fresh.Cells[i].Key)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	before := len(m.Remaining(index))
+	if err := m.RunShard(sc, index); err != nil {
+		return err
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(manifestPath, data); err != nil {
+		return err
+	}
+	log.Printf("shard %d/%d: ran %d cells; %s", index+1, shards, before, m.Summary())
+	return nil
+}
+
+// mergeManifests combines the comma-separated completed manifest files
+// and assembles the unsharded sweep report.
+func mergeManifests(sc scenario.Scenario, manifestPath string) (*experiments.SweepReport, error) {
+	if manifestPath == "" {
+		return nil, fmt.Errorf("-merge requires -manifest (one or more comma-separated manifest files)")
+	}
+	var ms []*shard.Manifest
+	for _, path := range strings.Split(manifestPath, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := shard.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		ms = append(ms, m)
+	}
+	m, err := shard.Combine(ms...)
+	if err != nil {
+		return nil, err
+	}
+	return m.Merge(sc)
+}
+
+// atomicWrite writes data to path via a rename, so a reader never sees a
+// partially-written snapshot or manifest.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // writeTrace encodes rec to path: JSONL by default, CSV when the path

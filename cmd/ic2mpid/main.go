@@ -12,6 +12,7 @@
 //	ic2mpid -addr 127.0.0.1:0 -addr-file /tmp/addr   # random port, written to a file
 //	ic2mpid -workers 4 -queue 512 -cache 8192        # sizing
 //	ic2mpid -token secret            # require "Authorization: Bearer secret" on /v1/*
+//	ic2mpid -state /var/lib/ic2mpid  # persist cache + queued jobs across restarts
 //
 // Submit a job and fetch its result (see docs/daemon.md for the full
 // cookbook):
@@ -22,7 +23,11 @@
 //
 // On SIGTERM or SIGINT the daemon drains: readiness and submits flip to
 // 503, queued jobs are cancelled, running jobs finish (bounded by
-// -drain-timeout), then the listener closes.
+// -drain-timeout), then the listener closes. With -state, completed
+// cells and accepted job specs persist to disk; a restarted daemon
+// reloads the cache, re-queues the jobs the shutdown interrupted under
+// their original IDs, and recomputes only the cells that never
+// finished.
 package main
 
 import (
@@ -53,6 +58,7 @@ func main() {
 	maxCells := flag.Int("max-cells", 0, "largest accepted sweep, in cells; 0 means 4096")
 	parallel := flag.Int("parallel", 0, "concurrent cells per job (the experiments worker pool); 0 means number of CPUs")
 	token := flag.String("token", "", "when set, /v1/* requires 'Authorization: Bearer <token>'")
+	stateDir := flag.String("state", "", "state directory; when set, the cell cache and queued jobs survive restarts")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs on shutdown")
 	flag.Parse()
 	experiments.Parallelism = *parallel
@@ -63,7 +69,11 @@ func main() {
 		CacheCells: *cache,
 		MaxCells:   *maxCells,
 		AuthToken:  *token,
+		StateDir:   *stateDir,
 	})
+	if err := srv.RestoreError(); err != nil {
+		log.Fatalf("restoring state from %s: %v", *stateDir, err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -61,6 +61,16 @@ func forEachParallel(n int, fn func(int)) {
 	wg.Wait()
 }
 
+// RunCells executes every parameter set against sc through run on the
+// bounded worker pool and returns results in input order, failing on the
+// first error in input order. It is the sweep engine's cell executor,
+// exported so a shard runner (internal/shard) can execute an arbitrary
+// subset of a sweep's cells with the same pool and the same determinism
+// guarantees as RunSweep itself.
+func RunCells(sc scenario.Scenario, params []scenario.Params, run CellRunner) ([]*scenario.Result, error) {
+	return runCellsAll(sc, params, run)
+}
+
 // runCellsAll executes every parameter set against sc through run on the
 // worker pool and returns results in input order, failing on the first
 // error in input order.

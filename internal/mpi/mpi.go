@@ -222,6 +222,33 @@ func (c *Comm) Stats() Stats {
 	}
 }
 
+// Restore rewinds this rank to a previously captured execution point:
+// the virtual clock jumps forward to clock and the communication
+// counters reload from st. It exists for checkpoint/resume — the
+// platform calls it once per rank, before any communication, so a
+// restored run's clocks and Stats continue exactly where the snapshot
+// was cut. Like every Comm method it must be called from the goroutine
+// (or coroutine, under the event kernel) that owns the rank.
+// VirtualClock mode only: a wall clock cannot be rewound into the past.
+func (c *Comm) Restore(clock float64, st Stats) error {
+	if c.world.mode != VirtualClock {
+		return fmt.Errorf("mpi: Restore requires VirtualClock mode")
+	}
+	if c.sent != 0 || c.received != 0 {
+		return fmt.Errorf("mpi: rank %d Restore after communication started", c.rank)
+	}
+	if clock < 0 {
+		return fmt.Errorf("mpi: rank %d Restore to negative clock %v", c.rank, clock)
+	}
+	c.clock.AdvanceTo(clock)
+	c.sent = st.MessagesSent
+	c.received = st.MessagesReceived
+	c.bytesSent = st.BytesSent
+	c.bytesReceived = st.BytesReceived
+	c.idleSeconds = st.IdleSeconds
+	return nil
+}
+
 // Run executes fn as an SPMD program across opts.Procs ranks and blocks
 // until every rank returns. It returns the first error raised by any rank
 // via Comm.Fail, or a panic converted to an error.

@@ -27,8 +27,24 @@ func Run(cfg Config) (*Result, error) {
 	for ph := range res.PhaseTimes {
 		res.PhaseTimes[ph] = make([]float64, c.Procs)
 	}
+	if c.ResumeFrom != nil {
+		if err := validateResume(c, c.ResumeFrom); err != nil {
+			return nil, err
+		}
+	}
 	if c.Trace != nil {
 		c.Trace.Start(c.Procs, c.Iterations)
+		if snap := c.ResumeFrom; snap != nil {
+			// Reload the rows recorded before the cut, single-threaded,
+			// before any rank launches.
+			if err := c.Trace.Restore(snap.Iter, snap.TraceSamples, snap.TraceMigrations, snap.TraceEdgeCuts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var col *snapCollector
+	if c.CheckpointEvery > 0 {
+		col = newSnapCollector(c)
 	}
 	var mu sync.Mutex
 	elapsed := make([]float64, c.Procs)
@@ -42,24 +58,46 @@ func Run(cfg Config) (*Result, error) {
 
 	opts := mpi.Options{Procs: c.Procs, Cost: c.Network, Mode: c.Mode, Kernel: c.Kernel}
 	runErr := mpi.Run(opts, func(comm *mpi.Comm) error {
-		if err := comm.Barrier(); err != nil {
-			return err
-		}
-		start := comm.Wtime()
-		st, err := newRankState(c, comm)
-		if err != nil {
-			return err
-		}
+		var start float64
+		var st *rankState
+		var err error
 		migrated := 0
+		firstIter := 1
+		if snap := c.ResumeFrom; snap != nil {
+			// Resuming: no initial barrier — it would fast-forward every
+			// restored clock to the max. Comm.Restore reloads this rank's
+			// clock and counters before any communication, then the state
+			// rebuild is pure host work.
+			rs := snap.Ranks[comm.Rank()]
+			if err := comm.Restore(rs.Clock, rs.Stats); err != nil {
+				return err
+			}
+			start = rs.Start
+			if st, err = restoreRankState(c, comm, snap); err != nil {
+				return err
+			}
+			migrated = rs.Migrations
+			firstIter = snap.Iter + 1
+		} else {
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			start = comm.Wtime()
+			if st, err = newRankState(c, comm); err != nil {
+				return err
+			}
+		}
 		// Trace bookkeeping: phase and message-counter snapshots at the
-		// previous iteration boundary, so each sample carries deltas.
+		// previous iteration boundary, so each sample carries deltas. On
+		// resume the restored phase vector and counters are exactly the
+		// boundary values the uninterrupted run would carry here.
 		var prevPhase [NumPhases]float64
 		var prevStats mpi.Stats
 		if c.Trace != nil {
 			prevPhase = st.phase
 			prevStats = comm.Stats()
 		}
-		for iter := 1; iter <= c.Iterations; iter++ {
+		for iter := firstIter; iter <= c.Iterations; iter++ {
 			if tv != nil {
 				comm.SetEpoch(iter)
 				st.speed = tv.SpeedAt(iter, st.me)
@@ -113,6 +151,11 @@ func Run(cfg Config) (*Result, error) {
 					// The owner map is rank-local state, synchronized by the
 					// migration barriers, so rank 0's copy is current here.
 					c.Trace.RecordEdgeCut(iter, partitionCut(c.Graph, st.owner))
+				}
+			}
+			if col != nil && iter%c.CheckpointEvery == 0 && iter < c.Iterations {
+				if err := col.contribute(st, iter, start); err != nil {
+					return err
 				}
 			}
 		}

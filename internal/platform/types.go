@@ -251,6 +251,25 @@ type Config struct {
 	// dense fast path at small scale; the virtual timeline is identical
 	// either way.
 	ForceSparseState bool
+	// CheckpointEvery, when > 0, captures a RunSnapshot at the end of
+	// every CheckpointEvery-th iteration (except the last — a completed
+	// run has nothing to resume) and hands it to CheckpointSink. Capture
+	// is host-side only: iteration boundaries are message-quiescent, so
+	// each rank contributes its state as it passes the boundary and the
+	// virtual timeline is identical with checkpointing on or off.
+	// VirtualClock mode only.
+	CheckpointEvery int
+	// CheckpointSink receives each completed snapshot. It runs on the
+	// last contributing rank's host goroutine; returning an error aborts
+	// the run.
+	CheckpointSink func(*RunSnapshot) error
+	// ResumeFrom, when non-nil, restores the run from a snapshot instead
+	// of initializing: every rank's clocks, stats, node data, bookkeeping
+	// and trace rows are reloaded and iteration ResumeFrom.Iter+1 runs
+	// next. The resumed run's Result, Stats and trace are byte-identical
+	// to the uninterrupted run's. The snapshot must come from an
+	// identically configured run (validated, never assumed).
+	ResumeFrom *RunSnapshot
 	// Trace, when non-nil, records per-iteration telemetry — per-processor
 	// compute/communicate/idle virtual time, message counters, migration
 	// events and the live edge-cut — into the given recorder. Tracing is
@@ -288,6 +307,12 @@ func (c *Config) normalize() (*Config, error) {
 		if p < 0 || p >= c.Procs {
 			return nil, fmt.Errorf("platform: node %d assigned to processor %d outside [0,%d)", v, p, c.Procs)
 		}
+	}
+	if c.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("platform: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
+	if (c.CheckpointEvery > 0 || c.ResumeFrom != nil) && c.Mode != mpi.VirtualClock {
+		return nil, fmt.Errorf("platform: checkpoint/resume requires VirtualClock mode (a wall clock cannot be restored)")
 	}
 	out := *c
 	if out.SubPhases <= 0 {

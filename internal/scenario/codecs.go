@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"encoding/json"
+
+	"ic2mpi/internal/battlefield"
+	"ic2mpi/internal/checkpoint"
+	"ic2mpi/internal/platform"
+)
+
+// Checkpoint codecs for the node data types the registered scenarios use
+// beyond platform.IntData (which internal/checkpoint registers itself):
+// the heat scenario's fixed-point temperature and the battlefield's hex
+// state. Registered here — every scenario consumer imports this package —
+// so any scenario a snapshot can contain is decodable wherever scenarios
+// run.
+func init() {
+	checkpoint.RegisterData(Temp(0), checkpoint.DataCodec{
+		Name: "temp",
+		Encode: func(d platform.NodeData) (json.RawMessage, error) {
+			return json.Marshal(int64(d.(Temp)))
+		},
+		Decode: func(raw json.RawMessage) (platform.NodeData, error) {
+			var v int64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, err
+			}
+			return Temp(v), nil
+		},
+	})
+	checkpoint.RegisterData(&battlefield.HexData{}, checkpoint.DataCodec{
+		Name: "hex",
+		Encode: func(d platform.NodeData) (json.RawMessage, error) {
+			return json.Marshal(d.(*battlefield.HexData))
+		},
+		Decode: func(raw json.RawMessage) (platform.NodeData, error) {
+			h := &battlefield.HexData{}
+			if err := json.Unmarshal(raw, h); err != nil {
+				return nil, err
+			}
+			return h, nil
+		},
+	})
+}

@@ -81,6 +81,14 @@ type Params struct {
 	// Result is identical to an untraced one — and the field is excluded
 	// from serialized reports.
 	Trace *trace.Recorder `json:"-"`
+	// CheckpointEvery, CheckpointSink and ResumeFrom thread platform
+	// checkpoint/restore through the scenario layer (see
+	// platform.Config). Like Trace they are host-side run plumbing, not
+	// part of the parameter space: excluded from serialized reports and
+	// from CellKey, and unsupported by custom-runner scenarios.
+	CheckpointEvery int                               `json:"-"`
+	CheckpointSink  func(*platform.RunSnapshot) error `json:"-"`
+	ResumeFrom      *platform.RunSnapshot             `json:"-"`
 }
 
 // Result is the flat, machine-readable outcome of one scenario run: the
@@ -202,6 +210,12 @@ func (sc Scenario) normalize(p Params) (Params, error) {
 	if sc.Runner != nil && p.Perturb != fault.NameNone {
 		return p, fmt.Errorf("scenario %s: custom runner does not support perturbation %q", sc.Name, p.Perturb)
 	}
+	if p.CheckpointEvery < 0 {
+		return p, fmt.Errorf("scenario %s: checkpoint period must be >= 0, got %d", sc.Name, p.CheckpointEvery)
+	}
+	if sc.Runner != nil && (p.CheckpointEvery > 0 || p.ResumeFrom != nil) {
+		return p, fmt.Errorf("scenario %s: custom runner does not support checkpoint/resume", sc.Name)
+	}
 	if p.Iterations == 0 {
 		if p.Iterations = def.Iterations; p.Iterations == 0 {
 			p.Iterations = sc.Iterations
@@ -312,6 +326,9 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 		Kernel:           kernel,
 		SkipFinalGather:  true,
 		Trace:            p.Trace,
+		CheckpointEvery:  p.CheckpointEvery,
+		CheckpointSink:   p.CheckpointSink,
+		ResumeFrom:       p.ResumeFrom,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"os"
 	"sync"
 
 	"ic2mpi/internal/scenario"
@@ -16,6 +17,7 @@ import (
 type cellCache struct {
 	mu      sync.Mutex
 	max     int
+	dir     string     // state directory; "" = in-memory only (see persist.go)
 	ll      *list.List // front = most recently used
 	byKey   map[string]*list.Element
 	hits    int64
@@ -30,8 +32,10 @@ type cacheEntry struct {
 
 // newCellCache builds a cache holding at most max cells; max <= 0
 // disables caching entirely (every lookup misses, nothing is stored).
-func newCellCache(max int) *cellCache {
-	return &cellCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+// With dir non-empty, stored cells are also written to <dir>/cells/ and
+// evictions remove the file, keeping disk and LRU in step.
+func newCellCache(max int, dir string) *cellCache {
+	return &cellCache{max: max, dir: dir, ll: list.New(), byKey: make(map[string]*list.Element)}
 }
 
 // get returns the cached result for key, refreshing its recency.
@@ -49,13 +53,33 @@ func (c *cellCache) get(key string) (*scenario.Result, bool) {
 
 // put stores res under key, evicting the least recently used cell when
 // the cache is full. Storing an already-present key only refreshes it —
-// determinism guarantees the value is identical.
+// determinism guarantees the value is identical. With a state directory,
+// the cell is persisted before the in-memory insert; a write failure
+// only costs durability, never the entry.
 func (c *cellCache) put(key string, res *scenario.Result) {
+	if c.max <= 0 {
+		return
+	}
+	if c.dir != "" {
+		persistCell(c.dir, key, res) // best-effort; identical rewrite on collision
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, res)
+}
+
+// insert stores key without touching disk — the restore path, loading
+// entries that are already on disk.
+func (c *cellCache) insert(key string, res *scenario.Result) {
 	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insertLocked(key, res)
+}
+
+func (c *cellCache) insertLocked(key string, res *scenario.Result) {
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		return
@@ -64,8 +88,12 @@ func (c *cellCache) put(key string, res *scenario.Result) {
 	for c.ll.Len() > c.max {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.byKey, el.Value.(*cacheEntry).key)
+		evictedKey := el.Value.(*cacheEntry).key
+		delete(c.byKey, evictedKey)
 		c.evicted++
+		if c.dir != "" {
+			os.Remove(cellPath(c.dir, evictedKey))
+		}
 	}
 }
 

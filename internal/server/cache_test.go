@@ -14,7 +14,7 @@ import (
 )
 
 func TestCellCacheLRU(t *testing.T) {
-	c := newCellCache(2)
+	c := newCellCache(2, "")
 	ra, rb, rc := &scenario.Result{}, &scenario.Result{}, &scenario.Result{}
 	c.put("a", ra)
 	c.put("b", rb)
@@ -43,7 +43,7 @@ func TestCellCacheLRU(t *testing.T) {
 }
 
 func TestCellCacheDisabled(t *testing.T) {
-	c := newCellCache(-1)
+	c := newCellCache(-1, "")
 	c.put("a", &scenario.Result{})
 	if _, ok := c.get("a"); ok {
 		t.Error("disabled cache must never hit")

@@ -37,6 +37,12 @@ type Config struct {
 	// AuthToken, when non-empty, protects every /v1/ endpoint with
 	// "Authorization: Bearer <token>" (health and readiness stay open).
 	AuthToken string
+	// StateDir, when non-empty, persists the daemon's completed-cell
+	// cache and accepted job specs to disk (see persist.go): a restarted
+	// daemon reloads the cache, re-queues the jobs a shutdown
+	// interrupted under their original IDs, and recomputes only the
+	// cells that never finished. Default: no persistence.
+	StateDir string
 	// Now is the clock; tests inject a fixed one so job documents are
 	// byte-stable. Default: time.Now.
 	Now func() time.Time
@@ -89,27 +95,43 @@ type Server struct {
 	queued   chan *Job
 	draining bool
 
+	persist    PersistStats
+	restoreErr error
+
 	workers sync.WaitGroup
 }
 
-// New builds a Server and starts its job workers.
+// New builds a Server and starts its job workers. With Config.StateDir
+// set, persisted state is restored first: cached cells reload and
+// interrupted jobs re-queue under their original IDs; a corrupt state
+// directory is reported by RestoreError (the server still starts, with
+// whatever restored cleanly up to the failure).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:    cfg,
-		cache:  newCellCache(cfg.CacheCells),
+		cache:  newCellCache(cfg.CacheCells, cfg.StateDir),
 		jobs:   make(map[string]*Job),
 		usage:  make(map[string]*Usage),
 		queued: make(chan *Job, cfg.QueueDepth),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	if cfg.StateDir != "" {
+		s.persist.Dir = cfg.StateDir
+		s.restoreErr = s.restore()
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
 }
+
+// RestoreError reports what, if anything, went wrong restoring the state
+// directory. Callers that need a hard guarantee (cmd/ic2mpid refuses to
+// start on a corrupt state dir) check it right after New.
+func (s *Server) RestoreError() error { return s.restoreErr }
 
 // Handler returns the daemon's HTTP surface, auth middleware included.
 func (s *Server) Handler() http.Handler {
@@ -138,11 +160,19 @@ func (s *Server) Drain() {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if j.State == StateQueued {
-			s.finalizeLocked(j, StateCancelled, "daemon draining")
+			s.finalizeLocked(j, StateCancelled, reasonDraining)
 		}
 	}
 	close(s.queued)
 }
+
+// Shutdown finalization reasons. finalizeLocked keeps the persisted job
+// record for exactly these (shutdownReason), so a restart re-queues the
+// jobs the shutdown interrupted.
+const (
+	reasonDraining     = "daemon draining"
+	drainTimeoutPrefix = "drain timeout: "
+)
 
 // Wait blocks until every worker has finished its running job, or ctx
 // expires — in which case still-running jobs are marked failed so their
@@ -162,7 +192,7 @@ func (s *Server) Wait(ctx context.Context) error {
 		abandoned := 0
 		for _, id := range s.order {
 			if j := s.jobs[id]; j.State == StateRunning {
-				s.finalizeLocked(j, StateFailed, "drain timeout: daemon exited before the job finished")
+				s.finalizeLocked(j, StateFailed, drainTimeoutPrefix+"daemon exited before the job finished")
 				abandoned++
 			}
 		}
@@ -274,6 +304,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		State:    StateQueued,
 		Cells:    cells,
 		QueuedAt: s.cfg.Now(),
+	}
+	if s.cfg.StateDir != "" {
+		// Persist before the job becomes visible: once accepted, a job
+		// survives a daemon restart, so a spec that cannot be persisted
+		// is not accepted.
+		if err := s.persistJobLocked(j); err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persist_failed", "writing job record: %v", err)
+			return
+		}
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -471,13 +512,15 @@ func (s *Server) handleUsage(w http.ResponseWriter, _ *http.Request) {
 	}{clients})
 }
 
-// Stats is the GET /v1/stats document.
+// Stats is the GET /v1/stats document. Persist is present only when the
+// daemon runs with a state directory.
 type Stats struct {
 	Jobs     map[string]int `json:"jobs"`
 	Queued   int            `json:"queue_depth"`
 	Workers  int            `json:"workers"`
 	Draining bool           `json:"draining"`
 	Cache    CacheStats     `json:"cache"`
+	Persist  *PersistStats  `json:"persist,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -490,6 +533,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, j := range s.jobs {
 		st.Jobs[j.State]++
+	}
+	if s.cfg.StateDir != "" {
+		p := s.persist
+		st.Persist = &p
 	}
 	s.mu.Unlock()
 	st.Cache = s.cache.stats()
@@ -531,8 +578,18 @@ func (s *Server) usageOf(client string) *Usage {
 }
 
 // finalizeLocked moves j to a terminal state, updates usage, and closes
-// the stream after a final "state" line. Callers hold the mutex.
+// the stream after a final "state" line. A job abandoned by a shutdown
+// keeps its persisted spec record (so a restart re-runs it); any other
+// terminal state removes it. Finalizing an already-final job is a no-op
+// — the abandoned run of a drain-timeout job may still report in long
+// after the job was marked failed. Callers hold the mutex.
 func (s *Server) finalizeLocked(j *Job, state, errMsg string) {
+	if final(j.State) {
+		return
+	}
+	if s.cfg.StateDir != "" && !shutdownReason(state, errMsg) {
+		s.removeJobRecordLocked(j)
+	}
 	j.State = state
 	j.Err = errMsg
 	j.FinishedAt = s.cfg.Now()

@@ -159,6 +159,43 @@ func (r *Recorder) Start(procs, iters int) {
 	r.migrations = r.migrations[:0]
 }
 
+// Restore reloads rows recorded up to iteration boundary iter from a
+// checkpoint: the per-(iteration, processor) samples for iterations
+// 1..iter, the executed migrations, and the per-iteration edge cuts.
+// Like Start it must be called outside the run (the platform calls it
+// after Start, before ranks launch), and the restored rows are written
+// directly — they are not replayed to an attached Sink, which only
+// observes records produced live. A subsequent Finish derives the full
+// series exactly as an uninterrupted run would.
+func (r *Recorder) Restore(iter int, samples []Sample, migrations []Migration, edgeCuts []int) error {
+	if iter < 0 || iter > r.iters {
+		return fmt.Errorf("trace: Restore(iter=%d) outside Start(%d, %d)", iter, r.procs, r.iters)
+	}
+	if len(samples) != iter*r.procs {
+		return fmt.Errorf("trace: Restore got %d samples for %d iterations of %d procs", len(samples), iter, r.procs)
+	}
+	if len(edgeCuts) != iter {
+		return fmt.Errorf("trace: Restore got %d edge cuts for %d iterations", len(edgeCuts), iter)
+	}
+	for i, s := range samples {
+		if want := (i/r.procs + 1); s.Iter != want || s.Proc != i%r.procs {
+			return fmt.Errorf("trace: Restore sample %d labeled (iter=%d, proc=%d), want (%d, %d)",
+				i, s.Iter, s.Proc, want, i%r.procs)
+		}
+	}
+	for _, m := range migrations {
+		if m.Iter < 1 || m.Iter > iter {
+			return fmt.Errorf("trace: Restore migration at iteration %d outside 1..%d", m.Iter, iter)
+		}
+	}
+	copy(r.samples, samples)
+	for i, cut := range edgeCuts {
+		r.series[i].EdgeCut = cut
+	}
+	r.migrations = append(r.migrations[:0], migrations...)
+	return nil
+}
+
 // Procs returns the processor count of the recorded run.
 func (r *Recorder) Procs() int { return r.procs }
 

@@ -22,11 +22,15 @@ package ic2mpi_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"ic2mpi"
+	"ic2mpi/internal/checkpoint"
+	"ic2mpi/internal/platform"
 	"ic2mpi/internal/scenario"
 	"ic2mpi/internal/trace"
 )
@@ -129,6 +133,127 @@ func TestInvariantRandomizedSweep(t *testing.T) {
 		if !bytes.Equal(traces["goroutine"], traces["event"]) {
 			t.Fatalf("%s: kernels produced diverging traces (%d vs %d bytes)",
 				label, len(traces["goroutine"]), len(traces["event"]))
+		}
+	}
+}
+
+// TestInvariantResumeEquivalence is the checkpoint/resume half of the
+// property harness (invariant 4, ISSUE satellite a): for seeded-random
+// configurations across every axis family — scenario, network,
+// perturbation, balancer, kernel — a run snapshotted at every fault-epoch
+// boundary and restored from any of those snapshots reproduces the
+// uninterrupted run exactly: serialized result and stats bytes, excluded
+// per-phase times, and per-iteration trace JSONL. Each snapshot takes the
+// full encode → decode round trip through internal/checkpoint on the way,
+// so the property covers the wire format, not just the in-memory state.
+func TestInvariantResumeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	scenarios := []string{"heat", "hex32-fine", "hex64-coarse", "imbalance", "life"}
+	networks := []string{"uniform", "hypercube", "mesh2d", "fattree", "hetgrid"}
+	perturbs := []string{"none", "brownout", "brownout@3", "links", "ramp", "chaos"}
+	balancers := []string{"none", "centralized", "diffusion"}
+	kernels := []string{"goroutine", "event"}
+	procChoices := []int{1, 2, 4, 8}
+
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		p := scenario.Params{
+			Procs:      procChoices[rng.Intn(len(procChoices))],
+			Network:    networks[rng.Intn(len(networks))],
+			Perturb:    perturbs[rng.Intn(len(perturbs))],
+			Balancer:   balancers[rng.Intn(len(balancers))],
+			Kernel:     kernels[rng.Intn(len(kernels))],
+			Iterations: 4 + rng.Intn(5),
+		}
+		name := scenarios[rng.Intn(len(scenarios))]
+		label := fmt.Sprintf("trial %d: %s procs=%d net=%s perturb=%s bal=%s kernel=%s iters=%d",
+			trial, name, p.Procs, p.Network, p.Perturb, p.Balancer, p.Kernel, p.Iterations)
+		sc, err := scenario.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The golden uninterrupted run, snapshotting every epoch; each
+		// snapshot is stored in its serialized form.
+		encoded := make(map[int][]byte)
+		gp := p
+		var grec trace.Recorder
+		gp.Trace = &grec
+		gp.CheckpointEvery = 1
+		gp.CheckpointSink = func(s *platform.RunSnapshot) error {
+			if _, dup := encoded[s.Iter]; dup {
+				return fmt.Errorf("duplicate snapshot for iteration %d", s.Iter)
+			}
+			data, err := checkpoint.Encode(checkpoint.Meta{CellKey: label}, s)
+			if err != nil {
+				return err
+			}
+			encoded[s.Iter] = data
+			return nil
+		}
+		golden, err := sc.Run(gp)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		goldenJSON, err := json.Marshal(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gbuf bytes.Buffer
+		if err := trace.WriteJSONL(&gbuf, &grec); err != nil {
+			t.Fatal(err)
+		}
+		if len(encoded) != p.Iterations-1 {
+			t.Fatalf("%s: captured %d snapshots, want %d", label, len(encoded), p.Iterations-1)
+		}
+
+		for k := 1; k < p.Iterations; k++ {
+			data := encoded[k]
+			if data == nil {
+				t.Fatalf("%s: no snapshot at iteration %d", label, k)
+			}
+			meta, snap, err := checkpoint.Decode(data)
+			if err != nil {
+				t.Fatalf("%s: decode snapshot at iteration %d: %v", label, k, err)
+			}
+			if meta.CellKey != label {
+				t.Fatalf("%s: snapshot carries cell key %q", label, meta.CellKey)
+			}
+			// Encode is byte-stable: re-encoding the decoded snapshot is a
+			// fixed point.
+			again, err := checkpoint.Encode(meta, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, data) {
+				t.Fatalf("%s: snapshot at iteration %d is not an encode/decode fixed point", label, k)
+			}
+			rp := p
+			var rec trace.Recorder
+			rp.Trace = &rec
+			rp.ResumeFrom = snap
+			res, err := sc.Run(rp)
+			if err != nil {
+				t.Fatalf("%s: resume at iteration %d: %v", label, k, err)
+			}
+			resJSON, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resJSON, goldenJSON) {
+				t.Fatalf("%s: resume at iteration %d diverged\n got %s\nwant %s", label, k, resJSON, goldenJSON)
+			}
+			if !reflect.DeepEqual(res.Phases, golden.Phases) {
+				t.Fatalf("%s: resume at iteration %d: phase times diverged\n got %v\nwant %v",
+					label, k, res.Phases, golden.Phases)
+			}
+			var buf bytes.Buffer
+			if err := trace.WriteJSONL(&buf, &rec); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), gbuf.Bytes()) {
+				t.Fatalf("%s: resume at iteration %d: trace JSONL differs from uninterrupted run", label, k)
+			}
 		}
 	}
 }
