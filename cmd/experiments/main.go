@@ -12,6 +12,8 @@
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8,16" -network hypercube,mesh2d
 //	experiments -scenario hex64-fine -sweep "procs=8;balancer=none,centralized" -perturb none,brownout
 //	experiments -scenario hex64-fine -sweep "procs=4096" -kernel event
+//	experiments -scenario hex64-fine -sweep "procs=4096" -kernel pevent -kernel-workers 4
+//	experiments -scenario hex64-fine -sweep "procs=4096" -kernel pevent -cpuprofile cpu.pprof -memprofile mem.pprof
 //	experiments -scenario heat -format json > heat.json
 //	experiments -scenario heat -sweep "procs=4" -trace heat.jsonl
 //	experiments -scenario heat -sweep "procs=4" -checkpoint heat.ckpt
@@ -24,13 +26,21 @@
 // (pooled|unpooled), balancer (none|centralized|centralized-strict|
 // diffusion), network (uniform|hypercube|mesh2d|fattree|hetgrid),
 // perturb (none|brownout|links|ramp|chaos, each optionally @<seed>),
-// kernel (goroutine|event) and iters; unspecified axes stay at the
-// scenario's default. -network, -perturb and -kernel are shorthand for
-// the network, perturb and kernel axes.
+// kernel (see mpi.KernelNames: goroutine|event|pevent) and iters;
+// unspecified axes stay at the scenario's default. -network, -perturb
+// and -kernel are shorthand for the network, perturb and kernel axes.
+// -kernel-workers sets the pevent kernel's worker count (0 means
+// min(GOMAXPROCS, procs)); it is a host-side tuning knob — output bytes
+// are identical at any value.
 //
 // Sweep runs execute concurrently on -parallel workers (default: number
 // of CPUs). Output order — and output bytes — are independent of the
 // setting; -parallel 1 only serves to measure the speedup.
+//
+// -cpuprofile and -memprofile write pprof profiles of the invocation
+// (the CPU profile covers the experiment/sweep execution; the heap
+// profile is written after it completes), for profiling the simulator's
+// host-side cost, e.g. comparing kernels on a large sweep.
 //
 // -trace records per-iteration telemetry (compute/communicate/idle time
 // per processor, message counters, migrations, load imbalance, live
@@ -66,10 +76,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ic2mpi/internal/checkpoint"
 	"ic2mpi/internal/experiments"
+	"ic2mpi/internal/mpi"
 	"ic2mpi/internal/platform"
 	"ic2mpi/internal/scenario"
 	"ic2mpi/internal/shard"
@@ -86,8 +99,11 @@ func main() {
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
 	network := flag.String("network", "", `interconnect models to sweep, comma-separated (shorthand for the network axis), e.g. "hypercube,mesh2d"`)
 	perturb := flag.String("perturb", "", `fault-injection schedules to sweep, comma-separated (shorthand for the perturb axis), e.g. "none,brownout,chaos@3"`)
-	kernel := flag.String("kernel", "", `mpi execution kernels to sweep, comma-separated (shorthand for the kernel axis), e.g. "goroutine,event"`)
+	kernel := flag.String("kernel", "", fmt.Sprintf("mpi execution kernels to sweep, comma-separated (shorthand for the kernel axis): %s", strings.Join(mpi.KernelNames(), "|")))
+	kernelWorkers := flag.Int("kernel-workers", 0, "worker count for the pevent kernel; 0 means min(GOMAXPROCS, procs); output bytes are identical at any value")
 	parallel := flag.Int("parallel", 0, "concurrent sweep runs; 0 means number of CPUs")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile, taken after the run completes, to this file")
 	format := flag.String("format", "text", "output format: text, json or csv")
 	tracePath := flag.String("trace", "", `write a per-iteration trace of one -scenario run: JSONL, CSV when the path ends in .csv, or "-" for JSONL on stdout`)
 	checkpointPath := flag.String("checkpoint", "", "write an epoch-boundary snapshot of one -scenario run to this file (see -checkpoint-every)")
@@ -98,6 +114,37 @@ func main() {
 	merge := flag.Bool("merge", false, "combine the completed -manifest file(s) into the sweep report an unsharded run would produce")
 	flag.Parse()
 	experiments.Parallelism = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("paper experiments (-run):")
@@ -149,7 +196,7 @@ func main() {
 		case *manifestPath != "":
 			log.Fatal("-manifest requires -shard or -merge")
 		case *tracePath != "" || *checkpointPath != "" || *resumePath != "":
-			rep, emit, err := runSingle(sc, ax, *tracePath, *checkpointPath, *checkpointEvery, *resumePath)
+			rep, emit, err := runSingle(sc, ax, *kernelWorkers, *tracePath, *checkpointPath, *checkpointEvery, *resumePath)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -158,7 +205,11 @@ func main() {
 			}
 			reports = append(reports, rep)
 		default:
-			rep, err := experiments.RunSweep(sc, ax)
+			workers := *kernelWorkers
+			rep, err := experiments.RunSweepWith(sc, ax, func(sc scenario.Scenario, _ int, p scenario.Params) (*scenario.Result, error) {
+				p.KernelWorkers = workers
+				return sc.Run(p)
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -228,11 +279,12 @@ func applyAxisFlag(val, name string, axis *[]string) {
 // with any of tracing, checkpointing and snapshot-resume attached, and
 // returns the one-row report. emit is false when the trace went to
 // stdout and no report should be printed.
-func runSingle(sc scenario.Scenario, ax experiments.Axes, tracePath, checkpointPath string, checkpointEvery int, resumePath string) (rep *experiments.SweepReport, emit bool, err error) {
+func runSingle(sc scenario.Scenario, ax experiments.Axes, kernelWorkers int, tracePath, checkpointPath string, checkpointEvery int, resumePath string) (rep *experiments.SweepReport, emit bool, err error) {
 	p, err := ax.Single()
 	if err != nil {
 		return nil, false, err
 	}
+	p.KernelWorkers = kernelWorkers
 	key, err := experiments.CellKey(sc, p)
 	if err != nil {
 		return nil, false, err

@@ -356,18 +356,32 @@ func TestExchangeDeterminismSubPhases(t *testing.T) {
 }
 
 // TestKernelEquivalence is the differential harness for the event-driven
-// simulation kernel: for every registered scenario, across processor
-// counts, interconnect models and fault injection, the event kernel must
-// reproduce the goroutine kernel's run bit for bit — virtual time, message
-// counters, phase breakdown, migrations, and the per-iteration trace
-// JSONL, byte for byte. The two kernels share no scheduling machinery
-// (goroutines + channel mailboxes vs a priority queue over passive rank
-// states), so agreement here is evidence the virtual timeline is a pure
-// function of the simulated program, not of the engine executing it.
+// simulation kernels: for every registered scenario, across processor
+// counts, interconnect models and fault injection, the event kernel and
+// the parallel event kernel (at several worker counts, including worker
+// layouts that split the rank space) must reproduce the goroutine
+// kernel's run bit for bit — virtual time, message counters, phase
+// breakdown, migrations, and the per-iteration trace JSONL, byte for
+// byte. The three kernels share no scheduling machinery (goroutines +
+// channel mailboxes vs a priority queue over passive rank states vs
+// lookahead-windowed worker shards), so agreement here is evidence the
+// virtual timeline is a pure function of the simulated program, not of
+// the engine executing it.
 func TestKernelEquivalence(t *testing.T) {
 	const iterations = 6
 	networks := []string{"uniform", "hypercube", "mesh2d"}
 	perturbs := []string{"none", "brownout"}
+	type kernelCfg struct {
+		name    string
+		kernel  string
+		workers int
+	}
+	kernels := []kernelCfg{
+		{"event", "event", 0},
+		{"pevent-w1", "pevent", 1},
+		{"pevent-w2", "pevent", 2},
+		{"pevent-w8", "pevent", 8},
+	}
 	for _, sc := range scenario.List() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
@@ -386,41 +400,44 @@ func TestKernelEquivalence(t *testing.T) {
 						}
 						label := fmt.Sprintf("procs=%d network=%s perturb=%s", procs, network, perturb)
 
-						run := func(kernel string) (*scenario.Result, []byte) {
+						run := func(kernel string, workers int) (*scenario.Result, []byte) {
 							p := base
 							p.Kernel = kernel
+							p.KernelWorkers = workers
 							p.Trace = &trace.Recorder{}
 							res, err := sc.Run(p)
 							if err != nil {
-								t.Fatalf("%s kernel=%s: %v", label, kernel, err)
+								t.Fatalf("%s kernel=%s workers=%d: %v", label, kernel, workers, err)
 							}
 							var buf bytes.Buffer
 							if err := trace.WriteJSONL(&buf, p.Trace); err != nil {
-								t.Fatalf("%s kernel=%s: encode trace: %v", label, kernel, err)
+								t.Fatalf("%s kernel=%s workers=%d: encode trace: %v", label, kernel, workers, err)
 							}
 							return res, buf.Bytes()
 						}
-						gRes, gTrace := run("goroutine")
-						eRes, eTrace := run("event")
+						gRes, gTrace := run("goroutine", 0)
+						for _, kc := range kernels {
+							eRes, eTrace := run(kc.kernel, kc.workers)
 
-						if gRes.Elapsed != eRes.Elapsed {
-							t.Errorf("%s: Elapsed goroutine %v != event %v", label, gRes.Elapsed, eRes.Elapsed)
-						}
-						if gRes.EdgeCut != eRes.EdgeCut || gRes.Imbalance != eRes.Imbalance {
-							t.Errorf("%s: partition quality diverged", label)
-						}
-						if gRes.Migrations != eRes.Migrations {
-							t.Errorf("%s: Migrations goroutine %d != event %d", label, gRes.Migrations, eRes.Migrations)
-						}
-						if gRes.MessagesSent != eRes.MessagesSent || gRes.BytesSent != eRes.BytesSent {
-							t.Errorf("%s: message counters diverged: goroutine %d msgs/%d bytes, event %d msgs/%d bytes",
-								label, gRes.MessagesSent, gRes.BytesSent, eRes.MessagesSent, eRes.BytesSent)
-						}
-						if !reflect.DeepEqual(gRes.Phases, eRes.Phases) {
-							t.Errorf("%s: phase breakdown diverged:\ngoroutine %v\nevent     %v", label, gRes.Phases, eRes.Phases)
-						}
-						if !bytes.Equal(gTrace, eTrace) {
-							t.Errorf("%s: trace JSONL diverged (%d vs %d bytes)", label, len(gTrace), len(eTrace))
+							if gRes.Elapsed != eRes.Elapsed {
+								t.Errorf("%s: Elapsed goroutine %v != %s %v", label, gRes.Elapsed, kc.name, eRes.Elapsed)
+							}
+							if gRes.EdgeCut != eRes.EdgeCut || gRes.Imbalance != eRes.Imbalance {
+								t.Errorf("%s %s: partition quality diverged", label, kc.name)
+							}
+							if gRes.Migrations != eRes.Migrations {
+								t.Errorf("%s: Migrations goroutine %d != %s %d", label, gRes.Migrations, kc.name, eRes.Migrations)
+							}
+							if gRes.MessagesSent != eRes.MessagesSent || gRes.BytesSent != eRes.BytesSent {
+								t.Errorf("%s: message counters diverged: goroutine %d msgs/%d bytes, %s %d msgs/%d bytes",
+									label, gRes.MessagesSent, gRes.BytesSent, kc.name, eRes.MessagesSent, eRes.BytesSent)
+							}
+							if !reflect.DeepEqual(gRes.Phases, eRes.Phases) {
+								t.Errorf("%s: phase breakdown diverged:\ngoroutine %v\n%-9s %v", label, gRes.Phases, kc.name, eRes.Phases)
+							}
+							if !bytes.Equal(gTrace, eTrace) {
+								t.Errorf("%s: trace JSONL diverged vs %s (%d vs %d bytes)", label, kc.name, len(gTrace), len(eTrace))
+							}
 						}
 					}
 				}

@@ -154,10 +154,16 @@ const (
 	// memory, built for worlds of thousands of simulated processors.
 	// Virtual clock only.
 	KernelEvent = mpi.KernelEvent
+	// KernelParallelEvent runs the discrete-event scheduler sharded across
+	// min(GOMAXPROCS, procs) workers under a conservative lookahead
+	// horizon (Config.KernelWorkers overrides the worker count).
+	// Bit-identical to the other kernels at any worker count. Virtual
+	// clock only.
+	KernelParallelEvent = mpi.KernelParallelEvent
 )
 
-// ParseKernel resolves a kernel name ("goroutine", "event", or "" for the
-// default) to a Kernel.
+// ParseKernel resolves a kernel name (see mpi.KernelNames; "" selects the
+// default goroutine kernel) to a Kernel.
 func ParseKernel(name string) (Kernel, error) { return mpi.ParseKernel(name) }
 
 // Run executes the platform on cfg and blocks until every virtual

@@ -30,8 +30,11 @@ type Options struct {
 	// Mode selects virtual (default) or real clocks.
 	Mode mpi.ClockMode
 	// Kernel selects the mpi execution engine (goroutine-per-rank by
-	// default, or the discrete-event scheduler for large process counts).
+	// default, or one of the event schedulers for large process counts).
 	Kernel mpi.Kernel
+	// Workers sets the worker count for mpi.KernelParallelEvent
+	// (0 means min(GOMAXPROCS, Procs)); ignored by the other kernels.
+	Workers int
 }
 
 // Message is one delivered Put.
@@ -70,7 +73,7 @@ func Run(opts Options, fn func(p *Proc) error) error {
 	if opts.Procs < 1 {
 		return fmt.Errorf("bsp: Procs must be >= 1, got %d", opts.Procs)
 	}
-	return mpi.Run(mpi.Options{Procs: opts.Procs, Cost: opts.Cost, Mode: opts.Mode, Kernel: opts.Kernel}, func(c *mpi.Comm) error {
+	return mpi.Run(mpi.Options{Procs: opts.Procs, Cost: opts.Cost, Mode: opts.Mode, Kernel: opts.Kernel, Workers: opts.Workers}, func(c *mpi.Comm) error {
 		p := &Proc{comm: c, outbox: make([][]outMsg, c.Size())}
 		if err := fn(p); err != nil {
 			return err

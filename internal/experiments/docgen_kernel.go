@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The kernel host-time section of docs/benchmarks.md renders from the
+// pinned benchmark record BENCH_kernel_hosttime.json at the repository
+// root, the same contract as the daemon-throughput section: docgen never
+// re-measures host time, it renders the checked-in record, and the
+// record is refreshed by re-running the command it names.
+
+const kernelBenchFile = "BENCH_kernel_hosttime.json"
+
+// kernelBenchRecord mirrors BENCH_kernel_hosttime.json.
+type kernelBenchRecord struct {
+	Recorded string `json:"recorded"`
+	Host     struct {
+		GOOS  string `json:"goos"`
+		CPU   string `json:"cpu"`
+		Cores int    `json:"cores"`
+		Go    string `json:"go"`
+	} `json:"host"`
+	Command    string `json:"command"`
+	Scenario   string `json:"scenario"`
+	Iterations int    `json:"iterations"`
+	Rows       []struct {
+		Procs       int     `json:"procs"`
+		Kernel      string  `json:"kernel"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		Speedup     float64 `json:"speedup_vs_goroutine"`
+	} `json:"rows"`
+	MemoryPerRank struct {
+		Procs    int `json:"procs"`
+		Measured []struct {
+			Kernel           string  `json:"kernel"`
+			PeakBytesPerRank float64 `json:"peak_bytes_per_rank"`
+		} `json:"measured"`
+	} `json:"memory_per_rank"`
+	Notes string `json:"notes"`
+}
+
+// kernelHostTime renders the three-kernel host-time table with the
+// speedup-vs-goroutine column.
+func kernelHostTime() (string, error) {
+	path, err := findUp(kernelBenchFile)
+	if err != nil {
+		return "", err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var rec kernelBenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return "", fmt.Errorf("experiments: parsing %s: %w", kernelBenchFile, err)
+	}
+	if len(rec.Rows) == 0 {
+		return "", fmt.Errorf("experiments: %s has no rows", kernelBenchFile)
+	}
+	var b strings.Builder
+	b.WriteString("| procs | kernel | ns/op | B/op | allocs/op | speedup vs goroutine |\n")
+	b.WriteString("|---:|---|---:|---:|---:|---:|\n")
+	for _, r := range rec.Rows {
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | %s | %.2f× |\n",
+			r.Procs, r.Kernel, ftoa(r.NsPerOp), ftoa(r.BytesPerOp), ftoa(r.AllocsPerOp), r.Speedup)
+	}
+	if mem := rec.MemoryPerRank.Measured; len(mem) > 0 {
+		parts := make([]string, 0, len(mem))
+		for _, m := range mem {
+			parts = append(parts, fmt.Sprintf("%s %s", m.Kernel, ftoa(m.PeakBytesPerRank)))
+		}
+		fmt.Fprintf(&b, "\nPeak memory per rank at %d procs (`BenchmarkKernelMemoryPerRank`, bytes): %s.\n",
+			rec.MemoryPerRank.Procs, strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, "\nRecorded %s on %s (%s, %d core(s), Go %s), scenario %s at %d iterations, via `%s`.",
+		rec.Recorded, rec.Host.GOOS, rec.Host.CPU, rec.Host.Cores, rec.Host.Go, rec.Scenario, rec.Iterations, rec.Command)
+	if rec.Notes != "" {
+		fmt.Fprintf(&b, "\n\n%s", rec.Notes)
+	}
+	return b.String(), nil
+}

@@ -39,9 +39,10 @@ type Axes struct {
 	// Perturbs is the fault-injection axis (fault.Names names the
 	// accepted schedule specs, each optionally suffixed "@<seed>").
 	Perturbs []string `json:"perturbs"`
-	// Kernels is the mpi execution-engine axis ("goroutine", "event");
-	// both produce bit-identical virtual timelines, so this axis exists
-	// for differential testing and for host-time comparisons.
+	// Kernels is the mpi execution-engine axis (mpi.KernelNames lists the
+	// accepted values); all kernels produce bit-identical virtual
+	// timelines, so this axis exists for differential testing and for
+	// host-time comparisons.
 	Kernels []string `json:"kernels"`
 	// Iterations is the iteration-count axis.
 	Iterations []int `json:"iterations"`

@@ -159,6 +159,10 @@ func (ev *eventKernel) wakeAll() {
 	}
 }
 
+// failWake implements engine: single-threaded, so a failing rank can
+// wake the whole world directly.
+func (ev *eventKernel) failWake(rank int) { ev.wakeAll() }
+
 // park suspends the calling rank until the scheduler resumes it.
 func (ev *eventKernel) park(rank int) {
 	ev.yield <- struct{}{}
@@ -289,7 +293,7 @@ func runEvent(w *World, fn func(c *Comm) error) error {
 		barReleased: make([]bool, procs),
 		barOut:      make([]float64, procs),
 	}
-	w.ev = ev
+	w.eng = ev
 	for r := range ev.resume {
 		ev.resume[r] = make(chan struct{})
 	}

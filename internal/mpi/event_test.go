@@ -16,50 +16,68 @@ import (
 	"ic2mpi/internal/topology"
 )
 
-// runBothKernels executes fn under the goroutine and the event kernel
-// and returns per-rank (Wtime, Stats) snapshots taken after fn returns.
-func runBothKernels(t *testing.T, opts Options, fn func(c *Comm) error) (goro, event []struct {
+// kernelSnap is one rank's observable outcome: final virtual clock and
+// full stats counters.
+type kernelSnap struct {
 	Time  float64
 	Stats Stats
-}) {
+}
+
+// kernelMatrix enumerates every engine configuration the in-package
+// equivalence smokes cross-check: the three kernels, with the parallel
+// event kernel pinned at several explicit worker counts so worker
+// partitioning (including a block size of one) is exercised regardless
+// of GOMAXPROCS.
+func kernelMatrix(procs int) map[string]Options {
+	m := map[string]Options{
+		"goroutine": {Kernel: KernelGoroutine},
+		"event":     {Kernel: KernelEvent},
+		"pevent":    {Kernel: KernelParallelEvent},
+	}
+	for _, w := range []int{1, 2, 3} {
+		if w <= procs {
+			m[fmt.Sprintf("pevent-w%d", w)] = Options{Kernel: KernelParallelEvent, Workers: w}
+		}
+	}
+	return m
+}
+
+// runAllKernels executes fn under every kernel configuration and returns
+// per-rank (Wtime, Stats) snapshots taken after fn returns, keyed by
+// configuration label.
+func runAllKernels(t *testing.T, opts Options, fn func(c *Comm) error) map[string][]kernelSnap {
 	t.Helper()
-	run := func(k Kernel) []struct {
-		Time  float64
-		Stats Stats
-	} {
-		out := make([]struct {
-			Time  float64
-			Stats Stats
-		}, opts.Procs)
+	out := make(map[string][]kernelSnap)
+	for label, cfg := range kernelMatrix(opts.Procs) {
+		snaps := make([]kernelSnap, opts.Procs)
 		o := opts
-		o.Kernel = k
+		o.Kernel = cfg.Kernel
+		o.Workers = cfg.Workers
 		err := Run(o, func(c *Comm) error {
 			if err := fn(c); err != nil {
 				return err
 			}
-			out[c.Rank()] = struct {
-				Time  float64
-				Stats Stats
-			}{c.Wtime(), c.Stats()}
+			snaps[c.Rank()] = kernelSnap{c.Wtime(), c.Stats()}
 			return nil
 		})
 		if err != nil {
-			t.Fatalf("kernel %v: %v", k, err)
+			t.Fatalf("kernel %s: %v", label, err)
 		}
-		return out
+		out[label] = snaps
 	}
-	return run(KernelGoroutine), run(KernelEvent)
+	return out
 }
 
-// checkKernelsAgree asserts the two snapshots are identical, bit for bit.
-func checkKernelsAgree(t *testing.T, label string, goro, event []struct {
-	Time  float64
-	Stats Stats
-}) {
+// checkKernelsAgree asserts every configuration's snapshot is identical,
+// bit for bit, to the goroutine kernel's.
+func checkKernelsAgree(t *testing.T, label string, snaps map[string][]kernelSnap) {
 	t.Helper()
-	for r := range goro {
-		if goro[r] != event[r] {
-			t.Errorf("%s: rank %d diverges:\n  goroutine %+v\n  event     %+v", label, r, goro[r], event[r])
+	base := snaps["goroutine"]
+	for name, got := range snaps {
+		for r := range base {
+			if base[r] != got[r] {
+				t.Errorf("%s: rank %d diverges:\n  goroutine %+v\n  %-9s %+v", label, r, base[r], name, got[r])
+			}
 		}
 	}
 }
@@ -81,7 +99,7 @@ func TestEventKernelEquivalenceSmoke(t *testing.T) {
 	}
 	for name, model := range models {
 		opts := Options{Procs: 6, Cost: model, Mode: VirtualClock}
-		goro, event := runBothKernels(t, opts, func(c *Comm) error {
+		snaps := runAllKernels(t, opts, func(c *Comm) error {
 			n, r := c.Size(), c.Rank()
 			for round := 0; round < 4; round++ {
 				c.SetEpoch(round)
@@ -125,7 +143,7 @@ func TestEventKernelEquivalenceSmoke(t *testing.T) {
 			_, err := c.GatherInts(0, []int{r})
 			return err
 		})
-		checkKernelsAgree(t, name, goro, event)
+		checkKernelsAgree(t, name, snaps)
 	}
 }
 

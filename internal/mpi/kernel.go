@@ -1,9 +1,12 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kernel selects the execution engine that drives the ranks of a World.
-// Both kernels implement the same Comm API and — by construction — the
+// All kernels implement the same Comm API and — by construction — the
 // same virtual timeline: every clock advance is a pure function of
 // message content and per-rank program order, never of host scheduling,
 // so the kernels are bit-identical and differ only in host-side cost.
@@ -22,38 +25,60 @@ const (
 	// at a time, so the simulation needs no locks and scales to tens of
 	// thousands of ranks with flat memory per rank. VirtualClock only.
 	KernelEvent
+	// KernelParallelEvent is the conservative parallel event engine:
+	// ranks are partitioned across min(GOMAXPROCS, procs) workers (see
+	// Options.Workers), each owning a private event heap and message
+	// slab. Workers execute events concurrently below a per-window safe
+	// horizon derived from the cost model's MinDelay lookahead, staging
+	// cross-worker sends into per-worker lanes merged at the window
+	// barrier — see pevent.go. Bit-identical to the other two kernels.
+	// VirtualClock only.
+	KernelParallelEvent
 )
 
-// Kernel names accepted by ParseKernel and used in Params/CLI plumbing.
+// Kernel names accepted by ParseKernel and used in Params/CLI plumbing,
+// in Kernel-constant order.
 const (
-	KernelNameGoroutine = "goroutine"
-	KernelNameEvent     = "event"
+	KernelNameGoroutine     = "goroutine"
+	KernelNameEvent         = "event"
+	KernelNameParallelEvent = "pevent"
 )
+
+// kernelNames indexes names by Kernel value — the single source both
+// String and ParseKernel (and every CLI usage string built from
+// KernelNames) derive from, so a new kernel cannot drift out of help
+// text or error messages.
+var kernelNames = [...]string{
+	KernelGoroutine:     KernelNameGoroutine,
+	KernelEvent:         KernelNameEvent,
+	KernelParallelEvent: KernelNameParallelEvent,
+}
 
 // String returns the kernel's CLI/Params name.
 func (k Kernel) String() string {
-	switch k {
-	case KernelGoroutine:
-		return KernelNameGoroutine
-	case KernelEvent:
-		return KernelNameEvent
-	default:
-		return fmt.Sprintf("Kernel(%d)", int(k))
+	if k >= 0 && int(k) < len(kernelNames) {
+		return kernelNames[k]
 	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
 }
 
 // ParseKernel resolves a kernel name ("" means the default goroutine
 // kernel, preserving every pre-kernel configuration unchanged).
 func ParseKernel(name string) (Kernel, error) {
-	switch name {
-	case "", KernelNameGoroutine:
+	if name == "" {
 		return KernelGoroutine, nil
-	case KernelNameEvent:
-		return KernelEvent, nil
-	default:
-		return 0, fmt.Errorf("mpi: unknown kernel %q (want %s or %s)", name, KernelNameGoroutine, KernelNameEvent)
 	}
+	for k, n := range kernelNames {
+		if name == n {
+			return Kernel(k), nil
+		}
+	}
+	return 0, fmt.Errorf("mpi: unknown kernel %q (want %s)", name, strings.Join(KernelNames(), ", "))
 }
 
 // KernelNames returns the accepted kernel names, in default-first order.
-func KernelNames() []string { return []string{KernelNameGoroutine, KernelNameEvent} }
+func KernelNames() []string {
+	out := make([]string, len(kernelNames))
+	copy(out, kernelNames[:])
+	return out
+}

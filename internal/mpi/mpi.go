@@ -34,10 +34,36 @@ type Options struct {
 	// Mode selects virtual or real time accounting.
 	Mode ClockMode
 	// Kernel selects the execution engine: KernelGoroutine (default, one
-	// goroutine per rank) or KernelEvent (discrete-event scheduler for
-	// large worlds; VirtualClock only). The two are bit-identical in
-	// virtual time, stats and traces — see kernel.go.
+	// goroutine per rank), KernelEvent (discrete-event scheduler for
+	// large worlds; VirtualClock only) or KernelParallelEvent (the
+	// lookahead-windowed multi-worker event scheduler; VirtualClock
+	// only). All are bit-identical in virtual time, stats and traces —
+	// see kernel.go.
 	Kernel Kernel
+	// Workers bounds the worker count of KernelParallelEvent: 0 (the
+	// default) resolves to min(GOMAXPROCS, Procs); explicit values are
+	// clamped to Procs. Any worker count produces the same bytes — the
+	// knob trades host parallelism against per-window coordination cost.
+	// Ignored by the other kernels.
+	Workers int
+}
+
+// engine abstracts the event-driven execution engines (event, pevent)
+// behind the Comm hot paths: a nil World.eng selects the goroutine
+// kernel's mailbox path, preserving its branch-free fast path.
+type engine interface {
+	// send queues message m for rank dst (m.src identifies the sender).
+	send(dst int, m message)
+	// recv blocks rank c until a (src, tag) match is consumed.
+	recv(c *Comm, src, tag int) (any, error)
+	// probe reports whether a (src, tag) match is already queued at rank.
+	probe(rank, src, tag int) bool
+	// barrier parks rank c until all ranks arrive; returns the released
+	// maximum clock.
+	barrier(c *Comm) (float64, error)
+	// failWake wakes parked ranks after a failure so they can observe
+	// the fail flag and unwind; rank is the failing caller.
+	failWake(rank int)
 }
 
 // World owns the shared state of one SPMD execution: mailboxes, the barrier,
@@ -60,9 +86,10 @@ type World struct {
 	tv    netmodel.TimeVarying
 	boxes []*mailbox
 	bar   *barrier
-	// ev is non-nil when the world runs under the discrete-event kernel
-	// (see event.go); Comm methods branch to it instead of the mailboxes.
-	ev    *eventKernel
+	// eng is non-nil when the world runs under an event-driven kernel
+	// (event.go, pevent.go); Comm methods branch to it instead of the
+	// mailboxes.
+	eng   engine
 	start time.Time
 	// failFlag is the lock-free fast path for "has any rank failed":
 	// receive loops poll it on every wakeup, so it must not require
@@ -278,11 +305,15 @@ func Run(opts Options, fn func(c *Comm) error) error {
 	if tv, ok := cost.(netmodel.TimeVarying); ok {
 		w.tv = tv
 	}
-	if opts.Kernel == KernelEvent {
+	switch opts.Kernel {
+	case KernelEvent, KernelParallelEvent:
 		if opts.Mode == RealClock {
-			return fmt.Errorf("mpi: the event kernel simulates virtual time only; RealClock requires the goroutine kernel")
+			return fmt.Errorf("mpi: the %s kernel simulates virtual time only; RealClock requires the goroutine kernel", opts.Kernel)
 		}
-		return runEvent(w, fn)
+		if opts.Kernel == KernelEvent {
+			return runEvent(w, fn)
+		}
+		return runPEvent(w, fn, opts.Workers)
 	}
 	w.boxes = make([]*mailbox, opts.Procs)
 	for i := range w.boxes {
@@ -412,8 +443,8 @@ func (c *Comm) Isend(dst, tag int, payload any, bytes int) error {
 	}
 	c.clock.Advance(c.sendOverhead)
 	m := message{src: c.rank, tag: tag, payload: payload, bytes: bytes, sentAt: c.clock.Now(), epoch: c.epoch}
-	if ev := c.world.ev; ev != nil {
-		ev.send(dst, m)
+	if eng := c.world.eng; eng != nil {
+		eng.send(dst, m)
 	} else {
 		box := c.world.boxes[dst]
 		box.mu.Lock()
@@ -443,8 +474,8 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	if src < 0 || src >= c.world.procs {
 		return nil, fmt.Errorf("mpi: Recv on rank %d from invalid rank %d (size %d)", c.rank, src, c.world.procs)
 	}
-	if ev := c.world.ev; ev != nil {
-		return ev.recv(c, src, tag)
+	if eng := c.world.eng; eng != nil {
+		return eng.recv(c, src, tag)
 	}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
@@ -545,8 +576,8 @@ func (r *Request) Wait() (any, error) {
 // Probe reports whether a message from src with the given tag is already
 // queued, without receiving it.
 func (c *Comm) Probe(src, tag int) bool {
-	if ev := c.world.ev; ev != nil {
-		return ev.probe(c.rank, src, tag)
+	if eng := c.world.eng; eng != nil {
+		return eng.probe(c.rank, src, tag)
 	}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
@@ -564,9 +595,9 @@ func (c *Comm) Probe(src, tag int) bool {
 // MPI_Barrier on dedicated hardware.
 func (c *Comm) Barrier() error {
 	var t float64
-	if ev := c.world.ev; ev != nil {
+	if eng := c.world.eng; eng != nil {
 		var err error
-		if t, err = ev.barrier(c); err != nil {
+		if t, err = eng.barrier(c); err != nil {
 			return err
 		}
 	} else {
@@ -588,8 +619,8 @@ func (c *Comm) Barrier() error {
 // observe the failure and unwind.
 func (c *Comm) Fail(err error) {
 	c.world.setFail(fmt.Errorf("mpi: rank %d: %w", c.rank, err))
-	if ev := c.world.ev; ev != nil {
-		ev.wakeAll()
+	if eng := c.world.eng; eng != nil {
+		eng.failWake(c.rank)
 		return
 	}
 	c.world.wakeAll()

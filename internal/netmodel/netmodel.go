@@ -83,6 +83,17 @@ type Model interface {
 	// sent from src at sendStart (the sender's clock after its send
 	// overhead) becomes available at dst.
 	ArrivalTime(src, dst int, sendStart float64, nbytes int) float64
+	// MinDelay returns the minimum wire delay any message can experience
+	// between two distinct ranks: a lower bound on
+	// ArrivalTime(src, dst, t, n) - t over all src != dst, n >= 0 and all
+	// conditions the model can be in (every epoch, for time-varying
+	// models). It is the conservative lookahead of the parallel event
+	// kernel: no message injected at time t can affect any rank before
+	// t + MinDelay, so events below that horizon are safe to execute
+	// concurrently. 0 (a free or degenerate machine) disables windowing
+	// without breaking correctness — the kernel's safe horizon is a
+	// performance heuristic, never a correctness input.
+	MinDelay() float64
 	// SendOverhead is the CPU time rank spends injecting one message.
 	SendOverhead(rank int) float64
 	// RecvOverhead is the CPU time rank spends extracting one message.
@@ -145,6 +156,10 @@ func (u Uniform) ArrivalTime(src, dst int, sendStart float64, nbytes int) float6
 	wire := u.Base.Latency + float64(nbytes)*u.Base.ByteTime
 	return sendStart + wire
 }
+
+// MinDelay implements Model: every pair pays the full latency, so the
+// cheapest possible message (zero bytes) arrives Latency after injection.
+func (u Uniform) MinDelay() float64 { return u.Base.Latency }
 
 // SendOverhead implements Model.
 func (u Uniform) SendOverhead(rank int) float64 { return u.Base.SendOverhead }
@@ -254,6 +269,53 @@ func (t Topology) ArrivalTime(src, dst int, sendStart float64, nbytes int) float
 		}
 	}
 	return sendStart + wire
+}
+
+// MinDelay implements Model: the base latency scaled by the cheapest
+// effective link factor of the network. A link cost of 0 between
+// distinct ranks prices as an unscaled wire (factor 1), matching
+// ArrivalTime's fallback. Dense networks are swept exactly; matrix-free
+// networks (the >1024-proc hypercube/mesh forms, where an O(P²) sweep is
+// exactly what CostFn exists to avoid) sample adjacent-id pairs — which
+// contain a distance-1 link in every shipped constructor — and cap the
+// factor at 1, so the result can only under-estimate, which keeps the
+// lower-bound contract safe for any graph the sample cannot prove.
+func (t Topology) MinDelay() float64 {
+	return t.Base.Latency * t.minLinkFactor()
+}
+
+// minLinkFactor returns the smallest effective wire multiplier across
+// distinct rank pairs (see MinDelay for the matrix-free caveat).
+func (t Topology) minLinkFactor() float64 {
+	p := t.Net.Procs()
+	if p < 2 {
+		return 1
+	}
+	if t.Net.CostFn != nil && t.Net.LinkCost == nil {
+		min := 1.0
+		for i := 0; i+1 < p; i++ {
+			if c := t.Net.CostFn(i, i+1); c > 0 && c < min {
+				min = c
+			}
+		}
+		return min
+	}
+	min := 0.0
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			c := t.Net.LinkCost[i][j]
+			if c <= 0 {
+				c = 1 // ArrivalTime's unscaled-wire fallback
+			}
+			if min == 0 || c < min {
+				min = c
+			}
+		}
+	}
+	if min == 0 {
+		return 1
+	}
+	return min
 }
 
 // SendOverhead implements Model.

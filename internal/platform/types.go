@@ -230,10 +230,16 @@ type Config struct {
 	Mode mpi.ClockMode
 	// Kernel selects the mpi execution engine: mpi.KernelGoroutine (the
 	// default — one goroutine per rank, the engine every pinned table and
-	// golden trace was measured on) or mpi.KernelEvent (discrete-event
+	// golden trace was measured on), mpi.KernelEvent (discrete-event
 	// scheduler, bit-identical in virtual time, built for worlds of
-	// thousands of ranks). VirtualClock only for the event kernel.
+	// thousands of ranks) or mpi.KernelParallelEvent (conservative
+	// parallel event scheduler, bit-identical at any worker count).
+	// VirtualClock only for the event kernels.
 	Kernel mpi.Kernel
+	// KernelWorkers sets the worker count for mpi.KernelParallelEvent
+	// (0 means min(GOMAXPROCS, Procs)); ignored by the other kernels.
+	// A host-side tuning knob only: results are identical at any value.
+	KernelWorkers int
 	// SkipFinalGather disables gathering final node data into
 	// Result.FinalData (large sweeps skip the gather to save memory;
 	// callers verifying results against the sequential reference keep it).

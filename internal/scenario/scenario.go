@@ -68,10 +68,16 @@ type Params struct {
 	Iterations int `json:"iterations"`
 	// Kernel names the mpi execution engine: "goroutine" (the default —
 	// one goroutine per rank, the engine every pinned docgen table and
-	// golden trace was measured on) or "event" (discrete-event scheduler,
+	// golden trace was measured on), "event" (discrete-event scheduler,
 	// bit-identical virtual timeline, built for thousands of simulated
-	// processors). See mpi.KernelNames.
+	// processors) or "pevent" (conservative parallel event scheduler,
+	// bit-identical at any worker count). See mpi.KernelNames.
 	Kernel string `json:"kernel"`
+	// KernelWorkers sets the "pevent" kernel's worker count (0 means
+	// min(GOMAXPROCS, procs)); ignored by the other kernels. A host-side
+	// tuning knob, not a simulation parameter — results are identical at
+	// any value — so it is excluded from serialized reports and CellKey.
+	KernelWorkers int `json:"-"`
 	// BalanceEvery is the balancing period in iterations.
 	BalanceEvery int `json:"-"`
 	// BalanceRounds bounds plan+migrate rounds per balancing invocation.
@@ -324,6 +330,7 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 		Overheads:        platform.DefaultOverheads(),
 		Network:          runNet,
 		Kernel:           kernel,
+		KernelWorkers:    p.KernelWorkers,
 		SkipFinalGather:  true,
 		Trace:            p.Trace,
 		CheckpointEvery:  p.CheckpointEvery,

@@ -109,15 +109,20 @@ func TestInvariantRandomizedSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Every drawn configuration runs under both execution kernels: the
-		// invariants must hold on each, and the two per-iteration traces
-		// must be byte-identical (the event kernel's equivalence property,
-		// here exercised on randomized points instead of the fixed grid of
-		// TestKernelEquivalence).
+		// Every drawn configuration runs under all three execution kernels
+		// (the parallel event kernel at a trial-dependent worker count): the
+		// invariants must hold on each, and every per-iteration trace must
+		// be byte-identical to the goroutine kernel's (the event kernels'
+		// equivalence property, here exercised on randomized points instead
+		// of the fixed grid of TestKernelEquivalence).
 		traces := make(map[string][]byte)
-		for _, kernel := range []string{"goroutine", "event"} {
+		kernels := []string{"goroutine", "event", "pevent"}
+		for _, kernel := range kernels {
 			kp := p
 			kp.Kernel = kernel
+			if kernel == "pevent" {
+				kp.KernelWorkers = 1 + trial%4
+			}
 			rec := &trace.Recorder{}
 			kp.Trace = rec
 			if _, err := sc.Run(kp); err != nil {
@@ -130,9 +135,11 @@ func TestInvariantRandomizedSweep(t *testing.T) {
 			}
 			traces[kernel] = buf.Bytes()
 		}
-		if !bytes.Equal(traces["goroutine"], traces["event"]) {
-			t.Fatalf("%s: kernels produced diverging traces (%d vs %d bytes)",
-				label, len(traces["goroutine"]), len(traces["event"]))
+		for _, kernel := range kernels[1:] {
+			if !bytes.Equal(traces["goroutine"], traces[kernel]) {
+				t.Fatalf("%s: kernel %s diverges from goroutine (%d vs %d bytes)",
+					label, kernel, len(traces[kernel]), len(traces["goroutine"]))
+			}
 		}
 	}
 }
@@ -152,7 +159,7 @@ func TestInvariantResumeEquivalence(t *testing.T) {
 	networks := []string{"uniform", "hypercube", "mesh2d", "fattree", "hetgrid"}
 	perturbs := []string{"none", "brownout", "brownout@3", "links", "ramp", "chaos"}
 	balancers := []string{"none", "centralized", "diffusion"}
-	kernels := []string{"goroutine", "event"}
+	kernels := []string{"goroutine", "event", "pevent"}
 	procChoices := []int{1, 2, 4, 8}
 
 	const trials = 8
@@ -164,6 +171,11 @@ func TestInvariantResumeEquivalence(t *testing.T) {
 			Balancer:   balancers[rng.Intn(len(balancers))],
 			Kernel:     kernels[rng.Intn(len(kernels))],
 			Iterations: 4 + rng.Intn(5),
+		}
+		if p.Kernel == "pevent" {
+			// Worker count is a host-side knob; draw one anyway so resume
+			// equivalence is exercised across worker layouts.
+			p.KernelWorkers = 1 + rng.Intn(4)
 		}
 		name := scenarios[rng.Intn(len(scenarios))]
 		label := fmt.Sprintf("trial %d: %s procs=%d net=%s perturb=%s bal=%s kernel=%s iters=%d",
@@ -294,15 +306,19 @@ func TestInvariantMigrationConservation(t *testing.T) {
 	for _, procs := range []int{4, 8} {
 		for _, spec := range []string{"none", "brownout", "chaos"} {
 			for seed := int64(1); seed <= 3; seed++ {
-				// Alternate kernels across seeds so the adversarial
-				// migration property is exercised on both engines.
+				// Rotate kernels across seeds so the adversarial
+				// migration property is exercised on all three engines.
 				kernel := ic2mpi.KernelGoroutine
-				if seed%2 == 0 {
+				switch seed % 3 {
+				case 0:
 					kernel = ic2mpi.KernelEvent
+				case 2:
+					kernel = ic2mpi.KernelParallelEvent
 				}
 				label := fmt.Sprintf("procs=%d perturb=%s seed=%d kernel=%v", procs, spec, seed, kernel)
 				cfg := heatConfig(t, procs)
 				cfg.Kernel = kernel
+				cfg.KernelWorkers = 2
 				cfg.Iterations = 14
 				cfg.BalanceEvery = 2
 				cfg.DisableMigrationGuard = true

@@ -17,20 +17,21 @@ import (
 	"ic2mpi/internal/scenario"
 )
 
-// BenchmarkKernelHostTime compares the host-side cost of the two
+// BenchmarkKernelHostTime compares the host-side cost of the three
 // execution kernels on the same simulated world (hex64-fine, identical
 // virtual timelines). At small proc counts the goroutine kernel's
 // parallelism wins; as the simulated machine grows, per-rank channels
-// and scheduler churn make it fall behind the event kernel's single
-// priority queue. The crossover is the table recorded in
-// docs/benchmarks.md.
+// and scheduler churn make it fall behind the event kernels' priority
+// queues. The parallel event kernel tracks the sequential event kernel
+// on a single-core host and pulls ahead with real cores, worker count
+// permitting. The crossover is the table recorded in docs/benchmarks.md.
 func BenchmarkKernelHostTime(b *testing.B) {
 	sc, err := scenario.Get("hex64-fine")
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, procs := range []int{16, 256, 4096} {
-		for _, kernel := range []string{"goroutine", "event"} {
+		for _, kernel := range []string{"goroutine", "event", "pevent"} {
 			b.Run(fmt.Sprintf("procs=%d/kernel=%s", procs, kernel), func(b *testing.B) {
 				p := scenario.Params{Procs: procs, Kernel: kernel, Iterations: 10}
 				b.ReportAllocs()
@@ -45,7 +46,7 @@ func BenchmarkKernelHostTime(b *testing.B) {
 }
 
 // BenchmarkKernelMemoryPerRank reports the peak host memory per
-// simulated rank while the event kernel runs hex64-fine at 8192 procs —
+// simulated rank while each event kernel runs hex64-fine at 8192 procs —
 // the flat-memory property the scale smoke test asserts a hard ceiling
 // on. The custom peak-bytes/rank metric is the number to watch; the
 // standard B/op column only counts cumulative allocation.
@@ -55,23 +56,27 @@ func BenchmarkKernelMemoryPerRank(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg, err := sc.Config(scenario.Params{Procs: procs, Kernel: "event", Iterations: 3})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	var peakPerRank float64
-	for i := 0; i < b.N; i++ {
-		peak := peakMemDuring(func() {
-			if _, err := platform.Run(*cfg); err != nil {
+	for _, kernel := range []string{"event", "pevent"} {
+		b.Run("kernel="+kernel, func(b *testing.B) {
+			cfg, err := sc.Config(scenario.Params{Procs: procs, Kernel: kernel, Iterations: 3})
+			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
+			var peakPerRank float64
+			for i := 0; i < b.N; i++ {
+				peak := peakMemDuring(func() {
+					if _, err := platform.Run(*cfg); err != nil {
+						b.Fatal(err)
+					}
+				})
+				if v := float64(peak) / procs; v > peakPerRank {
+					peakPerRank = v
+				}
+			}
+			b.ReportMetric(peakPerRank, "peak-bytes/rank")
 		})
-		if v := float64(peak) / procs; v > peakPerRank {
-			peakPerRank = v
-		}
 	}
-	b.ReportMetric(peakPerRank, "peak-bytes/rank")
 }
 
 // Steady-state allocation pins for the four BenchmarkExchange*

@@ -1,9 +1,10 @@
 package ic2mpi_test
 
-// Scale smoke: the event kernel's reason to exist is worlds of thousands
+// Scale smoke: the event kernels' reason to exist is worlds of thousands
 // of simulated processors on one host. These tests run the paper's
 // hex64-fine scenario at 4096 and 16384 simulated procs under the event
-// kernel and assert both completion and a per-rank memory ceiling — the
+// and parallel event kernels and assert both completion and a per-rank
+// memory ceiling — the
 // flat-memory property that the sparse rank bookkeeping and matrix-free
 // topologies buy. Skipped with -short; CI runs them in a dedicated job.
 
@@ -83,39 +84,41 @@ func TestEventKernelScaleSmoke(t *testing.T) {
 	// dense O(P) per-rank vectors or per-rank channel mailboxes blows
 	// through it by an order of magnitude.
 	const perRankCeiling = 32 << 10 // bytes
-	for _, procs := range []int{4096, 16384} {
-		procs := procs
-		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
-			cfg, err := sc.Config(scenario.Params{
-				Procs:      procs,
-				Kernel:     "event",
-				Iterations: 3,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			var res *platform.Result
-			peak := peakMemDuring(func() {
-				var runErr error
-				res, runErr = platform.Run(*cfg)
-				if runErr != nil {
-					t.Errorf("run failed: %v", runErr)
+	for _, kernel := range []string{"event", "pevent"} {
+		for _, procs := range []int{4096, 16384} {
+			kernel, procs := kernel, procs
+			t.Run(fmt.Sprintf("kernel=%s/procs=%d", kernel, procs), func(t *testing.T) {
+				cfg, err := sc.Config(scenario.Params{
+					Procs:      procs,
+					Kernel:     kernel,
+					Iterations: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var res *platform.Result
+				peak := peakMemDuring(func() {
+					var runErr error
+					res, runErr = platform.Run(*cfg)
+					if runErr != nil {
+						t.Errorf("run failed: %v", runErr)
+					}
+				})
+				if t.Failed() {
+					return
+				}
+				if res.Elapsed <= 0 {
+					t.Errorf("elapsed %v, want > 0", res.Elapsed)
+				}
+				if len(res.Stats) != procs {
+					t.Fatalf("stats for %d ranks, want %d", len(res.Stats), procs)
+				}
+				perRank := peak / uint64(procs)
+				t.Logf("kernel=%s procs=%d peak=%d bytes (%.1f KiB/rank)", kernel, procs, peak, float64(perRank)/1024)
+				if perRank > perRankCeiling {
+					t.Errorf("per-rank memory %d bytes exceeds ceiling %d", perRank, perRankCeiling)
 				}
 			})
-			if t.Failed() {
-				return
-			}
-			if res.Elapsed <= 0 {
-				t.Errorf("elapsed %v, want > 0", res.Elapsed)
-			}
-			if len(res.Stats) != procs {
-				t.Fatalf("stats for %d ranks, want %d", len(res.Stats), procs)
-			}
-			perRank := peak / uint64(procs)
-			t.Logf("procs=%d peak=%d bytes (%.1f KiB/rank)", procs, peak, float64(perRank)/1024)
-			if perRank > perRankCeiling {
-				t.Errorf("per-rank memory %d bytes exceeds ceiling %d", perRank, perRankCeiling)
-			}
-		})
+		}
 	}
 }
