@@ -11,6 +11,7 @@
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8;partitioner=metis,pagrid"
 //	experiments -scenario hex64-fine -sweep "procs=1,2,4,8,16" -network hypercube,mesh2d
 //	experiments -scenario hex64-fine -sweep "procs=8;balancer=none,centralized" -perturb none,brownout
+//	experiments -scenario hex64-coarse -sweep "procs=8" -balancer worksteal,hierarchical,predictive -perturb brownout,ramp
 //	experiments -scenario hex64-fine -sweep "procs=4096" -kernel event
 //	experiments -scenario hex64-fine -sweep "procs=4096" -kernel pevent -kernel-workers 4
 //	experiments -scenario hex64-fine -sweep "procs=4096" -kernel pevent -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -24,11 +25,13 @@
 // The -sweep specification is semicolon-separated axis=value,value pairs
 // over the axes procs, partitioner, exchange (basic|overlap), buffers
 // (pooled|unpooled), balancer (none|centralized|centralized-strict|
-// diffusion), network (uniform|hypercube|mesh2d|fattree|hetgrid),
-// perturb (none|brownout|links|ramp|chaos, each optionally @<seed>),
-// kernel (see mpi.KernelNames: goroutine|event|pevent) and iters;
-// unspecified axes stay at the scenario's default. -network, -perturb
-// and -kernel are shorthand for the network, perturb and kernel axes.
+// diffusion|worksteal|hierarchical|predictive), network
+// (uniform|hypercube|mesh2d|fattree|hetgrid), perturb
+// (none|brownout|links|ramp|chaos, each optionally @<seed>), kernel (see
+// mpi.KernelNames: goroutine|event|pevent) and iters; unspecified axes
+// stay at the scenario's default. -balancer, -network, -perturb and
+// -kernel are shorthand for the balancer, network, perturb and kernel
+// axes.
 // -kernel-workers sets the pevent kernel's worker count (0 means
 // min(GOMAXPROCS, procs)); it is a host-side tuning knob — output bytes
 // are identical at any value.
@@ -97,6 +100,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and registered scenarios, then exit")
 	scen := flag.String("scenario", "", "registered scenario to sweep (see -list)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4;partitioner=metis,pagrid;buffers=pooled,unpooled"`)
+	balancer := flag.String("balancer", "", `dynamic load balancers to sweep, comma-separated (shorthand for the balancer axis), e.g. "none,centralized,worksteal"`)
 	network := flag.String("network", "", `interconnect models to sweep, comma-separated (shorthand for the network axis), e.g. "hypercube,mesh2d"`)
 	perturb := flag.String("perturb", "", `fault-injection schedules to sweep, comma-separated (shorthand for the perturb axis), e.g. "none,brownout,chaos@3"`)
 	kernel := flag.String("kernel", "", fmt.Sprintf("mpi execution kernels to sweep, comma-separated (shorthand for the kernel axis): %s", strings.Join(mpi.KernelNames(), "|")))
@@ -168,13 +172,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ax, err := experiments.ParseAxes(*sweep)
+		ax, err := resolveAxes(*sweep, axisFlags{
+			balancer: *balancer,
+			network:  *network,
+			perturb:  *perturb,
+			kernel:   *kernel,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		applyAxisFlag(*network, "network", &ax.Networks)
-		applyAxisFlag(*perturb, "perturb", &ax.Perturbs)
-		applyAxisFlag(*kernel, "kernel", &ax.Kernels)
 		switch {
 		case *merge:
 			if *shardSpec != "" || *tracePath != "" || *checkpointPath != "" || *resumePath != "" {
@@ -223,6 +229,8 @@ func main() {
 		log.Fatal("-shard/-manifest/-merge require -scenario (see -list for scenario names)")
 	case *sweep != "":
 		log.Fatal("-sweep requires -scenario (see -list for scenario names)")
+	case *balancer != "":
+		log.Fatal("-balancer requires -scenario (see -list for scenario names)")
 	case *network != "":
 		log.Fatal("-network requires -scenario (see -list for scenario names)")
 	case *perturb != "":
@@ -258,21 +266,52 @@ func main() {
 	}
 }
 
-// applyAxisFlag merges a comma-separated shorthand flag (-network,
-// -perturb, -kernel) into its sweep axis; naming the axis both ways is an
-// error.
-func applyAxisFlag(val, name string, axis *[]string) {
+// axisFlags carries the shorthand axis flags (-balancer, -network,
+// -perturb, -kernel) into resolveAxes.
+type axisFlags struct {
+	balancer, network, perturb, kernel string
+}
+
+// resolveAxes parses the -sweep specification and merges every shorthand
+// axis flag into its axis. Each flag is applied here, in one place, so a
+// parsed-but-dropped flag (the PR 8 -kernel bug) cannot recur without
+// failing the flag→axis table test.
+func resolveAxes(sweep string, f axisFlags) (experiments.Axes, error) {
+	ax, err := experiments.ParseAxes(sweep)
+	if err != nil {
+		return ax, err
+	}
+	if err := applyAxisFlag(f.balancer, "balancer", &ax.Balancers); err != nil {
+		return ax, err
+	}
+	if err := applyAxisFlag(f.network, "network", &ax.Networks); err != nil {
+		return ax, err
+	}
+	if err := applyAxisFlag(f.perturb, "perturb", &ax.Perturbs); err != nil {
+		return ax, err
+	}
+	if err := applyAxisFlag(f.kernel, "kernel", &ax.Kernels); err != nil {
+		return ax, err
+	}
+	return ax, nil
+}
+
+// applyAxisFlag merges a comma-separated shorthand flag (-balancer,
+// -network, -perturb, -kernel) into its sweep axis; naming the axis both
+// ways is an error.
+func applyAxisFlag(val, name string, axis *[]string) error {
 	if val == "" {
-		return
+		return nil
 	}
 	if len(*axis) > 0 {
-		log.Fatalf(`-%s and a "%s=" sweep axis are mutually exclusive`, name, name)
+		return fmt.Errorf(`-%s and a "%s=" sweep axis are mutually exclusive`, name, name)
 	}
 	for _, v := range strings.Split(val, ",") {
 		if v = strings.TrimSpace(v); v != "" {
 			*axis = append(*axis, v)
 		}
 	}
+	return nil
 }
 
 // runSingle executes the single parameter combination described by ax

@@ -371,6 +371,15 @@ func TestKernelEquivalence(t *testing.T) {
 	const iterations = 6
 	networks := []string{"uniform", "hypercube", "mesh2d"}
 	perturbs := []string{"none", "brownout"}
+	// Every registered balancing strategy is rotated through the grid —
+	// one per (procs, network, perturb) cell, deterministically — so the
+	// rank-0 planning of all of them (including the history-fed predictive
+	// balancer) is proven engine-independent without multiplying runtime.
+	balancers := scenario.Balancers()
+	balancerFor := func(procs int, network, perturb string) string {
+		h := procs + 3*len(network) + 5*len(perturb)
+		return balancers[h%len(balancers)]
+	}
 	type kernelCfg struct {
 		name    string
 		kernel  string
@@ -398,7 +407,15 @@ func TestKernelEquivalence(t *testing.T) {
 							Perturb:    perturb,
 							Iterations: iterations,
 						}
-						label := fmt.Sprintf("procs=%d network=%s perturb=%s", procs, network, perturb)
+						if sc.Runner == nil {
+							// Custom runners drive the platform directly and
+							// ignore the balancer axis; everything else gets a
+							// rotated balancer and a period short enough to
+							// actually plan within the iteration budget.
+							base.Balancer = balancerFor(procs, network, perturb)
+							base.BalanceEvery = 2
+						}
+						label := fmt.Sprintf("procs=%d network=%s perturb=%s balancer=%s", procs, network, perturb, base.Balancer)
 
 						run := func(kernel string, workers int) (*scenario.Result, []byte) {
 							p := base

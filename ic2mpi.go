@@ -17,7 +17,8 @@
 // Static partitioners (a Metis-style multilevel partitioner, a
 // PaGrid-style network-aware mapper, geometric band partitioners, a
 // gray-code mesh-to-hypercube embedding) and dynamic load balancers (the
-// thesis' centralized 25%-threshold heuristic) are pluggable, making the
+// thesis' centralized 25%-threshold heuristic, diffusion, work-stealing,
+// hierarchical and predictive strategies) are pluggable, making the
 // platform a test bed for partitioning and load-balancing research —
 // exactly the role the paper proposes.
 //
@@ -335,6 +336,35 @@ func PerturbNetworkSchedule(model NetworkModel, s *FaultSchedule, procs, iters i
 // under deterministic clocks (see the balance package documentation).
 func NewCentralizedBalancer(threshold float64, strict bool) Balancer {
 	return &balance.CentralizedHeuristic{Threshold: threshold, StrictAllNeighbors: strict}
+}
+
+// NewDiffusionBalancer returns the nearest-neighbor diffusion balancer
+// with the given imbalance tolerance (0 means the default 10%).
+func NewDiffusionBalancer(tolerance float64) Balancer {
+	return &balance.Diffusion{Tolerance: tolerance}
+}
+
+// NewWorkStealingBalancer returns the pull-based work-stealing balancer:
+// underloaded processors initiate, each stealing from its most-loaded
+// communicating neighbor (0 means the default 10% tolerance).
+func NewWorkStealingBalancer(tolerance float64) Balancer {
+	return &balance.WorkStealing{Tolerance: tolerance}
+}
+
+// NewHierarchicalBalancer returns the two-level balancer: diffusion
+// within each cluster of the rank space first, then at most one
+// cross-cluster move per overloaded cluster. clusters[rank] is the
+// cluster id of each rank; nil derives contiguous blocks of ceil(sqrt p).
+func NewHierarchicalBalancer(clusters []int, tolerance float64) Balancer {
+	return &balance.Hierarchical{Clusters: clusters, Tolerance: tolerance}
+}
+
+// NewPredictiveBalancer returns the history-fed predictive balancer:
+// diffusion on exponentially-weighted (Holt) forecasts of each
+// processor's load rather than on current loads. Zero tolerance or
+// alpha select the defaults (10%, 0.5).
+func NewPredictiveBalancer(tolerance, alpha float64) Balancer {
+	return &balance.Predictive{Tolerance: tolerance, Alpha: alpha}
 }
 
 // RealClock selects wall-clock execution for Config.Mode; the default is

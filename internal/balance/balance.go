@@ -9,10 +9,13 @@ import (
 
 // CentralizedHeuristic is the thesis' dynamic load balancer. The zero
 // value uses the paper's 25% threshold with the relaxed busy rule (see
-// StrictAllNeighbors).
+// StrictAllNeighbors); use NewCentralized to set an explicit threshold
+// with validation.
 type CentralizedHeuristic struct {
 	// Threshold is the minimum relative overload for a processor to count
-	// as busy; 0.25 (the paper's "25% more work") when zero or negative.
+	// as busy; 0.25 (the paper's "25% more work") for the zero value. An
+	// explicitly negative or non-finite threshold is a configuration error
+	// (see Validate), never a silent fallback to the default.
 	Threshold float64
 	// StrictAllNeighbors selects the literal rule of the thesis' C code: a
 	// processor is busy only when it exceeds EVERY communicating neighbor
@@ -27,8 +30,31 @@ type CentralizedHeuristic struct {
 	StrictAllNeighbors bool
 }
 
+// NewCentralized builds a CentralizedHeuristic with an explicit
+// threshold. Unlike the zero-value struct (which selects the paper's
+// default), an explicit zero, negative or non-finite threshold is
+// rejected here: the old behaviour of silently collapsing such values to
+// 0.25 hid misconfiguration until the balancer quietly migrated on the
+// wrong trigger.
+func NewCentralized(threshold float64, strict bool) (*CentralizedHeuristic, error) {
+	if threshold <= 0 || math.IsInf(threshold, 0) || math.IsNaN(threshold) {
+		return nil, fmt.Errorf("balance: centralized threshold must be a positive finite fraction, got %g", threshold)
+	}
+	return &CentralizedHeuristic{Threshold: threshold, StrictAllNeighbors: strict}, nil
+}
+
 // Name implements platform.Balancer.
 func (b *CentralizedHeuristic) Name() string { return "Centralized Heuristic" }
+
+// Validate implements platform.ValidatingBalancer: a negative or
+// non-finite threshold is a configuration error. Zero is the documented
+// zero-value default and stays valid.
+func (b *CentralizedHeuristic) Validate() error {
+	if b.Threshold < 0 || math.IsInf(b.Threshold, 0) || math.IsNaN(b.Threshold) {
+		return fmt.Errorf("balance: centralized threshold must be a positive finite fraction (or 0 for the default), got %g", b.Threshold)
+	}
+	return nil
+}
 
 func (b *CentralizedHeuristic) threshold() float64 {
 	if b.Threshold <= 0 {
@@ -96,11 +122,19 @@ func (b *CentralizedHeuristic) Plan(pg platform.ProcGraph) []platform.Pair {
 	return out
 }
 
+// MaxRelativeLoad caps RelativeLoads entries (in percent). A zero-time
+// neighbor of a loaded processor used to produce +Inf — the C original's
+// divide-by-zero — which `encoding/json` refuses to encode, so any report
+// or trace that serialized the matrix would fail mid-run. The cap keeps
+// the "arbitrarily large imbalance" semantics (it exceeds every sane
+// threshold) while guaranteeing the matrix stays finite end to end.
+const MaxRelativeLoad = 1e9
+
 // RelativeLoads builds the thesis' relative_proc_load matrix in percent:
 // rel[i][j] = (t_i - t_j) / t_j * 100 when processors i and j communicate
-// and t_i > t_j, else 0. A zero-time neighbor of a loaded processor yields
-// +Inf (the C original would divide by zero; the platform treats it as an
-// arbitrarily large imbalance).
+// and t_i > t_j, else 0. Entries are clamped to MaxRelativeLoad, so the
+// result is always finite (a zero-time neighbor of a loaded processor
+// hits the clamp).
 func RelativeLoads(pg platform.ProcGraph) [][]float64 {
 	p := len(pg.Times)
 	rel := make([][]float64, p)
@@ -111,10 +145,14 @@ func RelativeLoads(pg platform.ProcGraph) [][]float64 {
 				continue
 			}
 			if pg.Times[j] <= 0 {
-				rel[i][j] = math.Inf(1)
+				rel[i][j] = MaxRelativeLoad
 				continue
 			}
-			rel[i][j] = (pg.Times[i] - pg.Times[j]) / pg.Times[j] * 100
+			r := (pg.Times[i] - pg.Times[j]) / pg.Times[j] * 100
+			if r > MaxRelativeLoad {
+				r = MaxRelativeLoad
+			}
+			rel[i][j] = r
 		}
 	}
 	return rel

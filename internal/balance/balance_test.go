@@ -1,6 +1,7 @@
 package balance
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -161,9 +162,129 @@ func TestRelativeLoads(t *testing.T) {
 	if rel[1][0] != 0 {
 		t.Fatalf("rel[1][0] = %v, want 0", rel[1][0])
 	}
+	// A zero-time neighbor clamps to MaxRelativeLoad instead of +Inf: Inf
+	// would make any JSON encoding of the matrix fail mid-run.
 	pg = platform.ProcGraph{Times: []float64{1, 0}, Comm: fullComm(2)}
-	if !math.IsInf(RelativeLoads(pg)[0][1], 1) {
-		t.Fatal("zero-time neighbor should give +Inf")
+	if got := RelativeLoads(pg)[0][1]; got != MaxRelativeLoad {
+		t.Fatalf("zero-time neighbor: rel = %v, want the MaxRelativeLoad clamp %v", got, MaxRelativeLoad)
+	}
+}
+
+// TestRelativeLoadsAlwaysFinite is the seam audit for the ±Inf bugfix:
+// whatever the times vector (zeros, denormals, huge spreads), every entry
+// must survive a json.Marshal round trip — encoding/json rejects Inf and
+// NaN, so finiteness here proves no balancer matrix can sink a JSON
+// encoder downstream (report, trace, docgen).
+func TestRelativeLoadsAlwaysFinite(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw%10) + 2
+		times := make([]float64, p)
+		x := uint64(seed)
+		for i := range times {
+			x = x*6364136223846793005 + 1442695040888963407
+			switch x % 4 {
+			case 0:
+				times[i] = 0 // the divide-by-zero trigger
+			case 1:
+				times[i] = 5e-324 // smallest denormal: the worst-case ratio
+			default:
+				times[i] = float64(x%100000) / 10
+			}
+		}
+		rel := RelativeLoads(platform.ProcGraph{Times: times, Comm: fullComm(p)})
+		for i := range rel {
+			for j := range rel[i] {
+				v := rel[i][j]
+				if math.IsInf(v, 0) || math.IsNaN(v) || v > MaxRelativeLoad {
+					return false
+				}
+			}
+		}
+		_, err := json.Marshal(rel)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression tests for the zero-value collapse bugfix: explicit zero (or
+// negative, or non-finite) thresholds and tolerances must fail at
+// construction instead of silently selecting the package default.
+func TestConstructorsRejectExplicitZero(t *testing.T) {
+	for _, v := range []float64{0, -0.25, math.Inf(1), math.NaN()} {
+		if _, err := NewCentralized(v, false); err == nil {
+			t.Fatalf("NewCentralized(%g) accepted", v)
+		}
+		if _, err := NewDiffusion(v, 0); err == nil {
+			t.Fatalf("NewDiffusion(%g) accepted", v)
+		}
+		if _, err := NewHierarchical(nil, v); err == nil {
+			t.Fatalf("NewHierarchical(%g) accepted", v)
+		}
+		if _, err := NewPredictive(v, 0.5); err == nil {
+			t.Fatalf("NewPredictive(tolerance=%g) accepted", v)
+		}
+	}
+	for _, v := range []float64{0, -0.1, 1, math.NaN()} {
+		if _, err := NewWorkStealing(v); err == nil {
+			t.Fatalf("NewWorkStealing(%g) accepted", v)
+		}
+	}
+	for _, a := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := NewPredictive(0.1, a); err == nil {
+			t.Fatalf("NewPredictive(alpha=%g) accepted", a)
+		}
+	}
+	if _, err := NewHierarchical([]int{0, -1}, 0.1); err == nil {
+		t.Fatal("NewHierarchical with a negative cluster id accepted")
+	}
+	// Valid parameters construct and carry the value through.
+	c, err := NewCentralized(0.4, true)
+	if err != nil || c.Threshold != 0.4 || !c.StrictAllNeighbors {
+		t.Fatalf("NewCentralized(0.4, true) = %+v, %v", c, err)
+	}
+	d, err := NewDiffusion(0.2, 3)
+	if err != nil || d.Tolerance != 0.2 || d.MaxPairs != 3 {
+		t.Fatalf("NewDiffusion(0.2, 3) = %+v, %v", d, err)
+	}
+}
+
+// TestValidateMethods pins the Validate contract the platform's config
+// normalization calls: zero values (the documented defaults) pass,
+// explicit negatives and non-finite values fail.
+func TestValidateMethods(t *testing.T) {
+	valid := []interface{ Validate() error }{
+		&CentralizedHeuristic{},
+		&CentralizedHeuristic{Threshold: 0.3},
+		&Diffusion{},
+		&Diffusion{Tolerance: 0.2},
+		&WorkStealing{},
+		&WorkStealing{Tolerance: 0.15},
+		&Hierarchical{},
+		&Hierarchical{Clusters: []int{0, 0, 1, 1}, Tolerance: 0.2},
+		&Predictive{},
+		&Predictive{Tolerance: 0.2, Alpha: 0.7},
+	}
+	for _, b := range valid {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%T%+v: unexpected Validate error %v", b, b, err)
+		}
+	}
+	invalid := []interface{ Validate() error }{
+		&CentralizedHeuristic{Threshold: -1},
+		&CentralizedHeuristic{Threshold: math.Inf(1)},
+		&Diffusion{Tolerance: math.NaN()},
+		&WorkStealing{Tolerance: 1},
+		&Hierarchical{Clusters: []int{0, -2}},
+		&Hierarchical{Tolerance: -0.1},
+		&Predictive{Alpha: 2},
+		&Predictive{Tolerance: -1},
+	}
+	for _, b := range invalid {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("%T%+v: Validate accepted an invalid configuration", b, b)
+		}
 	}
 }
 

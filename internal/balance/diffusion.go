@@ -1,6 +1,8 @@
 package balance
 
 import (
+	"fmt"
+	"math"
 	"sort"
 
 	"ic2mpi/internal/platform"
@@ -15,15 +17,42 @@ import (
 // load diffuses along the processor graph's edges.
 type Diffusion struct {
 	// Tolerance is the relative overload versus the mean that triggers
-	// migration (default 0.10).
+	// migration; 0.10 for the zero value. An explicitly negative or
+	// non-finite tolerance is a configuration error (see Validate), never
+	// a silent fallback to the default.
 	Tolerance float64
 	// MaxPairs bounds the number of pairs per invocation (default: no
 	// bound beyond one per overloaded processor).
 	MaxPairs int
 }
 
+// NewDiffusion builds a Diffusion balancer with an explicit tolerance.
+// Unlike the zero-value struct (which selects the default), an explicit
+// zero, negative or non-finite tolerance is rejected here: the old
+// behaviour of silently collapsing such values to 0.10 hid
+// misconfiguration. maxPairs <= 0 means unbounded.
+func NewDiffusion(tolerance float64, maxPairs int) (*Diffusion, error) {
+	if tolerance <= 0 || math.IsInf(tolerance, 0) || math.IsNaN(tolerance) {
+		return nil, fmt.Errorf("balance: diffusion tolerance must be a positive finite fraction, got %g", tolerance)
+	}
+	if maxPairs < 0 {
+		maxPairs = 0
+	}
+	return &Diffusion{Tolerance: tolerance, MaxPairs: maxPairs}, nil
+}
+
 // Name implements platform.Balancer.
 func (d *Diffusion) Name() string { return "Diffusion" }
+
+// Validate implements platform.ValidatingBalancer: a negative or
+// non-finite tolerance is a configuration error. Zero is the documented
+// zero-value default and stays valid.
+func (d *Diffusion) Validate() error {
+	if d.Tolerance < 0 || math.IsInf(d.Tolerance, 0) || math.IsNaN(d.Tolerance) {
+		return fmt.Errorf("balance: diffusion tolerance must be a positive finite fraction (or 0 for the default), got %g", d.Tolerance)
+	}
+	return nil
+}
 
 func (d *Diffusion) tolerance() float64 {
 	if d.Tolerance <= 0 {

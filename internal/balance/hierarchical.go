@@ -1,0 +1,227 @@
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ic2mpi/internal/platform"
+)
+
+// Hierarchical balances in two passes that mirror a clustered machine:
+// first each cluster diffuses load among its own processors (cheap local
+// links — a fat-tree pod, a hetgrid island, a mesh quadrant), then a
+// single global pass moves work out of clusters whose mean load exceeds
+// the machine mean (the expensive cross-cluster links carry at most one
+// task per overloaded cluster per invocation). The cluster map is plain
+// data, so plans stay a pure deterministic function of the processor
+// graph; scenario.ClustersFor derives maps from the active interconnect
+// topology.
+type Hierarchical struct {
+	// Clusters[p] is processor p's cluster id (non-negative; ids need not
+	// be dense). A nil or wrongly-sized map falls back to BlockClusters.
+	Clusters []int
+	// Tolerance is the relative overload versus the (cluster or global)
+	// mean that triggers migration; 0.10 for the zero value. An explicitly
+	// negative or non-finite tolerance is a configuration error.
+	Tolerance float64
+}
+
+// NewHierarchical builds a Hierarchical balancer with an explicit
+// tolerance and cluster map; zero, negative and non-finite tolerances
+// and negative cluster ids are rejected (the zero-value struct selects
+// the defaults instead).
+func NewHierarchical(clusters []int, tolerance float64) (*Hierarchical, error) {
+	if tolerance <= 0 || math.IsInf(tolerance, 0) || math.IsNaN(tolerance) {
+		return nil, fmt.Errorf("balance: hierarchical tolerance must be a positive finite fraction, got %g", tolerance)
+	}
+	for p, c := range clusters {
+		if c < 0 {
+			return nil, fmt.Errorf("balance: hierarchical cluster id for processor %d is negative (%d)", p, c)
+		}
+	}
+	return &Hierarchical{Clusters: append([]int(nil), clusters...), Tolerance: tolerance}, nil
+}
+
+// Name implements platform.Balancer.
+func (h *Hierarchical) Name() string { return "Hierarchical" }
+
+// Validate implements platform.ValidatingBalancer.
+func (h *Hierarchical) Validate() error {
+	if h.Tolerance < 0 || math.IsInf(h.Tolerance, 0) || math.IsNaN(h.Tolerance) {
+		return fmt.Errorf("balance: hierarchical tolerance must be a positive finite fraction (or 0 for the default), got %g", h.Tolerance)
+	}
+	for p, c := range h.Clusters {
+		if c < 0 {
+			return fmt.Errorf("balance: hierarchical cluster id for processor %d is negative (%d)", p, c)
+		}
+	}
+	return nil
+}
+
+func (h *Hierarchical) tolerance() float64 {
+	if h.Tolerance <= 0 {
+		return 0.10
+	}
+	return h.Tolerance
+}
+
+// BlockClusters is the topology-agnostic default cluster map: contiguous
+// rank blocks of ~sqrt(procs) processors, the shape that keeps both the
+// cluster count and the cluster size sublinear.
+func BlockClusters(procs int) []int {
+	if procs < 1 {
+		return nil
+	}
+	size := int(math.Ceil(math.Sqrt(float64(procs))))
+	out := make([]int, procs)
+	for r := range out {
+		out[r] = r / size
+	}
+	return out
+}
+
+// Plan implements platform.Balancer.
+func (h *Hierarchical) Plan(pg platform.ProcGraph) []platform.Pair {
+	p := len(pg.Times)
+	if p < 2 || len(pg.Comm) != p {
+		return nil
+	}
+	clusters := h.Clusters
+	if len(clusters) != p {
+		clusters = BlockClusters(p)
+	}
+	for _, c := range clusters {
+		if c < 0 {
+			return nil // Validate rejects this before a run starts
+		}
+	}
+	tol := h.tolerance()
+	busySet := map[int]bool{}
+	idleSet := map[int]bool{}
+	var pairs []platform.Pair
+
+	// Cluster membership in deterministic (ascending id) order.
+	members := map[int][]int{}
+	var ids []int
+	for r, c := range clusters {
+		if members[c] == nil {
+			ids = append(ids, c)
+		}
+		members[c] = append(members[c], r)
+	}
+	sort.Ints(ids)
+
+	// Pass 1: intra-cluster diffusion against each cluster's own mean.
+	for _, c := range ids {
+		m := members[c]
+		if len(m) < 2 {
+			continue
+		}
+		mean := 0.0
+		for _, r := range m {
+			mean += pg.Times[r]
+		}
+		mean /= float64(len(m))
+		if mean <= 0 {
+			continue
+		}
+		order := append([]int(nil), m...)
+		sort.Slice(order, func(a, b int) bool {
+			if pg.Times[order[a]] != pg.Times[order[b]] {
+				return pg.Times[order[a]] > pg.Times[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		for _, i := range order {
+			if pg.Times[i] <= mean*(1+tol) {
+				break // sorted: nobody further is overloaded
+			}
+			if busySet[i] || idleSet[i] {
+				continue
+			}
+			idle := -1
+			for _, j := range m {
+				if j == i || pg.Comm[i][j] <= 0 || busySet[j] || idleSet[j] {
+					continue
+				}
+				if pg.Times[j] >= mean {
+					continue
+				}
+				if idle == -1 || pg.Times[j] < pg.Times[idle] {
+					idle = j
+				}
+			}
+			if idle == -1 {
+				continue
+			}
+			pairs = append(pairs, platform.Pair{Busy: i, Idle: idle})
+			busySet[i] = true
+			idleSet[idle] = true
+		}
+	}
+
+	// Pass 2: one cross-cluster move per overloaded cluster. Clusters are
+	// visited in decreasing mean-load order; the donor is the cluster's
+	// most-loaded unpaired processor, the target its least-loaded
+	// communicating processor in an under-mean cluster.
+	globalMean := 0.0
+	for _, t := range pg.Times {
+		globalMean += t
+	}
+	globalMean /= float64(p)
+	if globalMean <= 0 {
+		return pairs
+	}
+	clusterMean := map[int]float64{}
+	for _, c := range ids {
+		sum := 0.0
+		for _, r := range members[c] {
+			sum += pg.Times[r]
+		}
+		clusterMean[c] = sum / float64(len(members[c]))
+	}
+	corder := append([]int(nil), ids...)
+	sort.Slice(corder, func(a, b int) bool {
+		if clusterMean[corder[a]] != clusterMean[corder[b]] {
+			return clusterMean[corder[a]] > clusterMean[corder[b]]
+		}
+		return corder[a] < corder[b]
+	})
+	for _, c := range corder {
+		if clusterMean[c] <= globalMean*(1+tol) {
+			break // sorted: nobody further is overloaded
+		}
+		donor := -1
+		for _, r := range members[c] {
+			if busySet[r] || idleSet[r] {
+				continue
+			}
+			if donor == -1 || pg.Times[r] > pg.Times[donor] {
+				donor = r
+			}
+		}
+		if donor == -1 || pg.Times[donor] <= globalMean {
+			continue
+		}
+		idle := -1
+		for j := 0; j < p; j++ {
+			if clusters[j] == c || pg.Comm[donor][j] <= 0 || busySet[j] || idleSet[j] {
+				continue
+			}
+			if clusterMean[clusters[j]] >= globalMean || pg.Times[j] >= globalMean {
+				continue
+			}
+			if idle == -1 || pg.Times[j] < pg.Times[idle] {
+				idle = j
+			}
+		}
+		if idle == -1 {
+			continue
+		}
+		pairs = append(pairs, platform.Pair{Busy: donor, Idle: idle})
+		busySet[donor] = true
+		idleSet[idle] = true
+	}
+	return pairs
+}

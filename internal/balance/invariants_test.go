@@ -1,0 +1,218 @@
+package balance
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ic2mpi/internal/platform"
+)
+
+// randomProcGraph draws a seeded processor graph: p processors with mixed
+// loads (including exact zeros, the RelativeLoads edge case) over a
+// random symmetric communication matrix that may leave processors
+// isolated.
+func randomProcGraph(rng *rand.Rand, p int) platform.ProcGraph {
+	times := make([]float64, p)
+	for i := range times {
+		switch rng.Intn(5) {
+		case 0:
+			times[i] = 0
+		default:
+			times[i] = rng.Float64() * 10
+		}
+	}
+	comm := make([][]int, p)
+	for i := range comm {
+		comm[i] = make([]int, p)
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			if rng.Intn(3) > 0 {
+				w := rng.Intn(20)
+				comm[i][j], comm[j][i] = w, w
+			}
+		}
+	}
+	return platform.ProcGraph{Times: times, Comm: comm}
+}
+
+// randomHistory draws a seeded balancing-history window shaped like the
+// platform's: ascending iterations, per-processor times and speeds.
+func randomHistory(rng *rand.Rand, p int) []platform.LoadSample {
+	n := rng.Intn(6)
+	hist := make([]platform.LoadSample, 0, n)
+	iter := 0
+	for k := 0; k < n; k++ {
+		iter += 1 + rng.Intn(3)
+		times := make([]float64, p)
+		speeds := make([]float64, p)
+		for i := range times {
+			times[i] = rng.Float64() * 10
+			speeds[i] = 0.5 + rng.Float64()*2.5
+		}
+		hist = append(hist, platform.LoadSample{Iter: iter, Times: times, Speeds: speeds})
+	}
+	return hist
+}
+
+// checkPlanInvariants asserts the structural rules every balancer must
+// uphold (validatePlan's rules plus the only-communicating-pairs rule the
+// heuristics promise): indices in range, no self-pairs, no duplicate busy
+// processor, no busy processor doubling as idle, and every pair connected
+// in the communication matrix.
+func checkPlanInvariants(t *testing.T, label string, pg platform.ProcGraph, pairs []platform.Pair) {
+	t.Helper()
+	p := len(pg.Times)
+	busy := map[int]bool{}
+	idle := map[int]bool{}
+	for _, pr := range pairs {
+		if pr.Busy < 0 || pr.Busy >= p || pr.Idle < 0 || pr.Idle >= p {
+			t.Fatalf("%s: pair %v out of range [0,%d)", label, pr, p)
+		}
+		if pr.Busy == pr.Idle {
+			t.Fatalf("%s: pair %v migrates to itself", label, pr)
+		}
+		if busy[pr.Busy] {
+			t.Fatalf("%s: processor %d busy in two pairs", label, pr.Busy)
+		}
+		busy[pr.Busy] = true
+		idle[pr.Idle] = true
+		if pg.Comm[pr.Busy][pr.Idle] <= 0 {
+			t.Fatalf("%s: pair %v connects non-communicating processors", label, pr)
+		}
+	}
+	for b := range busy {
+		if idle[b] {
+			t.Fatalf("%s: processor %d is both busy and idle", label, b)
+		}
+	}
+}
+
+// TestPlanInvariantsAllBalancers is the ISSUE 10 property harness: over
+// seeded random processor graphs, every registered balancing strategy
+// must emit structurally valid plans — and identical plans on repeat
+// calls with the same input (determinism is what the kernel-equivalence
+// and resume harnesses build on). The predictive balancer is additionally
+// driven through its history-aware entry point with random histories.
+func TestPlanInvariantsAllBalancers(t *testing.T) {
+	balancers := []platform.Balancer{
+		&CentralizedHeuristic{},
+		&CentralizedHeuristic{StrictAllNeighbors: true},
+		&Diffusion{},
+		&WorkStealing{},
+		&Hierarchical{},
+		&Hierarchical{Clusters: []int{0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6}},
+		&Predictive{},
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	const trials = 150
+	for trial := 0; trial < trials; trial++ {
+		p := 2 + rng.Intn(13)
+		pg := randomProcGraph(rng, p)
+		hist := randomHistory(rng, p)
+		for _, b := range balancers {
+			label := fmt.Sprintf("trial %d procs=%d balancer=%s", trial, p, b.Name())
+			pairs := b.Plan(pg)
+			checkPlanInvariants(t, label, pg, pairs)
+			if again := b.Plan(pg); !reflect.DeepEqual(pairs, again) {
+				t.Fatalf("%s: Plan is nondeterministic:\n first %v\nsecond %v", label, pairs, again)
+			}
+			hb, ok := b.(platform.HistoryBalancer)
+			if !ok {
+				continue
+			}
+			hPairs := hb.PlanWithHistory(pg, hist)
+			checkPlanInvariants(t, label+" (with history)", pg, hPairs)
+			if again := hb.PlanWithHistory(pg, hist); !reflect.DeepEqual(hPairs, again) {
+				t.Fatalf("%s: PlanWithHistory is nondeterministic", label)
+			}
+		}
+	}
+}
+
+// TestWorkStealingPullsFromHottestNeighbor pins the pull semantics: the
+// emptiest processor initiates and its most-loaded communicating neighbor
+// is the victim, ties broken by lower rank.
+func TestWorkStealingPullsFromHottestNeighbor(t *testing.T) {
+	w := &WorkStealing{}
+	pg := platform.ProcGraph{Times: []float64{0.1, 3, 5, 1}, Comm: fullComm(4)}
+	pairs := w.Plan(pg)
+	if len(pairs) == 0 || pairs[0] != (platform.Pair{Busy: 2, Idle: 0}) {
+		t.Fatalf("pairs = %v, want the hottest victim {2 0} first", pairs)
+	}
+	// Tie between victims 1 and 2: lower rank wins.
+	pg = platform.ProcGraph{Times: []float64{0.1, 4, 4, 2}, Comm: fullComm(4)}
+	pairs = w.Plan(pg)
+	if len(pairs) == 0 || pairs[0] != (platform.Pair{Busy: 1, Idle: 0}) {
+		t.Fatalf("pairs = %v, want tie broken to lower rank {1 0}", pairs)
+	}
+	// A balanced machine steals nothing.
+	pg = platform.ProcGraph{Times: []float64{1, 1.02, 0.98, 1}, Comm: fullComm(4)}
+	if pairs := w.Plan(pg); pairs != nil {
+		t.Fatalf("balanced machine produced %v", pairs)
+	}
+}
+
+// TestHierarchicalPrefersLocalMoves pins the two-pass structure: an
+// imbalance inside one cluster resolves locally, and only cluster-level
+// imbalance crosses cluster boundaries.
+func TestHierarchicalPrefersLocalMoves(t *testing.T) {
+	h := &Hierarchical{Clusters: []int{0, 0, 1, 1}}
+	// Cluster 0 is internally imbalanced but both clusters carry the same
+	// total load: the only move must stay inside cluster 0.
+	pg := platform.ProcGraph{Times: []float64{3, 1, 2, 2}, Comm: fullComm(4)}
+	pairs := h.Plan(pg)
+	if len(pairs) != 1 || pairs[0] != (platform.Pair{Busy: 0, Idle: 1}) {
+		t.Fatalf("pairs = %v, want the local move [{0 1}]", pairs)
+	}
+	// Cluster 0 is uniformly hot: no local candidate exists, so the global
+	// pass must move one task to the cold cluster.
+	pg = platform.ProcGraph{Times: []float64{4, 4, 0.5, 0.5}, Comm: fullComm(4)}
+	pairs = h.Plan(pg)
+	if len(pairs) != 1 || pairs[0].Busy > 1 || pairs[0].Idle < 2 {
+		t.Fatalf("pairs = %v, want one cross-cluster move", pairs)
+	}
+}
+
+// TestPredictivePreemptsRamp pins the forecasting behaviour: two
+// processors report identical current times, but one's history is ramping
+// up (times and speed factor climbing). Only the forecaster sees a
+// difference — diffusion on the same graph plans nothing.
+func TestPredictivePreemptsRamp(t *testing.T) {
+	pg := platform.ProcGraph{Times: []float64{1, 1, 1, 1}, Comm: fullComm(4)}
+	if pairs := (&Diffusion{}).Plan(pg); pairs != nil {
+		t.Fatalf("diffusion on flat current times produced %v", pairs)
+	}
+	b := &Predictive{}
+	if pairs := b.PlanWithHistory(pg, nil); pairs != nil {
+		t.Fatalf("predictive without history must match diffusion, produced %v", pairs)
+	}
+	// Processor 0's windows ramp 0.4 -> 0.7 -> 1.0 with its speed factor
+	// degrading 1 -> 2 -> 3; everyone else is flat at 1.
+	hist := []platform.LoadSample{
+		{Iter: 3, Times: []float64{0.4, 1, 1, 1}, Speeds: []float64{1, 1, 1, 1}},
+		{Iter: 6, Times: []float64{0.7, 1, 1, 1}, Speeds: []float64{2, 1, 1, 1}},
+		{Iter: 9, Times: []float64{1.0, 1, 1, 1}, Speeds: []float64{3, 1, 1, 1}},
+	}
+	pairs := b.PlanWithHistory(pg, hist)
+	if len(pairs) != 1 || pairs[0].Busy != 0 {
+		t.Fatalf("pairs = %v, want processor 0 shed pre-emptively", pairs)
+	}
+}
+
+// TestBlockClusters pins the default cluster shape.
+func TestBlockClusters(t *testing.T) {
+	got := BlockClusters(9)
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BlockClusters(9) = %v, want %v", got, want)
+	}
+	if BlockClusters(0) != nil {
+		t.Fatal("BlockClusters(0) should be nil")
+	}
+	if got := BlockClusters(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("BlockClusters(1) = %v", got)
+	}
+}

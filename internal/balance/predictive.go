@@ -1,0 +1,187 @@
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ic2mpi/internal/platform"
+)
+
+// Predictive is a forecasting balancer: instead of reacting to the load
+// the processors just reported, it extrapolates each processor's compute
+// time one balancing window ahead with Holt's exponentially-weighted
+// level+trend smoothing over the run's balancing history (the per-window
+// times and speed factors the platform records — see
+// platform.HistoryBalancer), then runs diffusion-style pairing on the
+// forecast. Under a ramp schedule a processor whose speed factor is
+// climbing gets its forecast inflated before its measured time crosses
+// any threshold, so migration starts ahead of the fault instead of behind
+// it. With no history (the first balancing invocations, or plain Plan
+// calls) the forecast degenerates to the current times and the balancer
+// behaves exactly like Diffusion.
+type Predictive struct {
+	// Tolerance is the relative overload versus the mean forecast that
+	// triggers migration; 0.10 for the zero value. An explicitly negative
+	// or non-finite tolerance is a configuration error.
+	Tolerance float64
+	// Alpha is the exponential smoothing weight for both the level and the
+	// trend; 0.5 for the zero value. Must be in (0,1].
+	Alpha float64
+}
+
+// NewPredictive builds a Predictive balancer with explicit parameters;
+// out-of-range tolerances and alphas are rejected (the zero-value struct
+// selects the defaults instead).
+func NewPredictive(tolerance, alpha float64) (*Predictive, error) {
+	if tolerance <= 0 || math.IsInf(tolerance, 0) || math.IsNaN(tolerance) {
+		return nil, fmt.Errorf("balance: predictive tolerance must be a positive finite fraction, got %g", tolerance)
+	}
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("balance: predictive alpha must be in (0,1], got %g", alpha)
+	}
+	return &Predictive{Tolerance: tolerance, Alpha: alpha}, nil
+}
+
+// Name implements platform.Balancer.
+func (b *Predictive) Name() string { return "Predictive" }
+
+// Validate implements platform.ValidatingBalancer.
+func (b *Predictive) Validate() error {
+	if b.Tolerance < 0 || math.IsInf(b.Tolerance, 0) || math.IsNaN(b.Tolerance) {
+		return fmt.Errorf("balance: predictive tolerance must be a positive finite fraction (or 0 for the default), got %g", b.Tolerance)
+	}
+	if b.Alpha < 0 || b.Alpha > 1 || math.IsNaN(b.Alpha) {
+		return fmt.Errorf("balance: predictive alpha must be in (0,1] (or 0 for the default), got %g", b.Alpha)
+	}
+	return nil
+}
+
+func (b *Predictive) tolerance() float64 {
+	if b.Tolerance <= 0 {
+		return 0.10
+	}
+	return b.Tolerance
+}
+
+func (b *Predictive) alpha() float64 {
+	if b.Alpha <= 0 {
+		return 0.5
+	}
+	return b.Alpha
+}
+
+// Plan implements platform.Balancer: planning with an empty history, so
+// direct callers (and the property harness) see pure diffusion on the
+// current times.
+func (b *Predictive) Plan(pg platform.ProcGraph) []platform.Pair {
+	return b.PlanWithHistory(pg, nil)
+}
+
+// PlanWithHistory implements platform.HistoryBalancer.
+func (b *Predictive) PlanWithHistory(pg platform.ProcGraph, hist []platform.LoadSample) []platform.Pair {
+	p := len(pg.Times)
+	if p < 2 || len(pg.Comm) != p {
+		return nil
+	}
+	loads := b.forecast(pg, hist)
+
+	// Diffusion-style pairing on the forecast loads: most overloaded
+	// first, each paired with its least-loaded communicating neighbor
+	// below the mean forecast.
+	mean := 0.0
+	for _, t := range loads {
+		mean += t
+	}
+	mean /= float64(p)
+	if mean <= 0 {
+		return nil
+	}
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if loads[order[a]] != loads[order[b]] {
+			return loads[order[a]] > loads[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	threshold := mean * (1 + b.tolerance())
+	busySet := map[int]bool{}
+	idleSet := map[int]bool{}
+	var pairs []platform.Pair
+	for _, i := range order {
+		if loads[i] <= threshold {
+			break // sorted: nobody further is overloaded
+		}
+		if idleSet[i] {
+			continue
+		}
+		idle := -1
+		for j := 0; j < p; j++ {
+			if j == i || pg.Comm[i][j] <= 0 || busySet[j] || idleSet[j] {
+				continue
+			}
+			if loads[j] >= mean {
+				continue
+			}
+			if idle == -1 || loads[j] < loads[idle] {
+				idle = j
+			}
+		}
+		if idle == -1 {
+			continue
+		}
+		pairs = append(pairs, platform.Pair{Busy: i, Idle: idle})
+		busySet[i] = true
+		idleSet[idle] = true
+	}
+	return pairs
+}
+
+// forecast extrapolates each processor's next-window compute time: the
+// current gathered time plus the Holt trend of its recorded windows,
+// scaled by the projected drift of its speed factor (a processor whose
+// execution-time multiplier is climbing will take proportionally longer
+// next window even at constant work). Fewer than two usable samples
+// leave the current times unchanged. Forecasts are clamped at zero.
+func (b *Predictive) forecast(pg platform.ProcGraph, hist []platform.LoadSample) []float64 {
+	p := len(pg.Times)
+	a := b.alpha()
+	out := make([]float64, p)
+	for r := 0; r < p; r++ {
+		var level, trend, spLevel, spTrend float64
+		seen := 0
+		for _, s := range hist {
+			if len(s.Times) != p || len(s.Speeds) != p {
+				continue
+			}
+			if seen == 0 {
+				level, spLevel = s.Times[r], s.Speeds[r]
+			} else {
+				prev := level
+				level = a*s.Times[r] + (1-a)*(level+trend)
+				trend = a*(level-prev) + (1-a)*trend
+				prevSp := spLevel
+				spLevel = a*s.Speeds[r] + (1-a)*(spLevel+spTrend)
+				spTrend = a*(spLevel-prevSp) + (1-a)*spTrend
+			}
+			seen++
+		}
+		f := pg.Times[r]
+		if seen >= 2 {
+			f += trend
+			if spLevel > 0 {
+				if next := spLevel + spTrend; next > 0 {
+					f *= next / spLevel
+				}
+			}
+		}
+		if f < 0 {
+			f = 0
+		}
+		out[r] = f
+	}
+	return out
+}

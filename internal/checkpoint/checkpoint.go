@@ -140,6 +140,17 @@ type rankJSON struct {
 	WorkTime   float64    `json:"work_time_s"`
 	Migrations int        `json:"migrations"`
 	Nodes      []nodeJSON `json:"nodes"`
+	// History carries rank 0's balancing-history window for history-aware
+	// balancers; omitted when empty, so snapshots of runs with the classic
+	// balancers are byte-identical to the pre-history format.
+	History []histJSON `json:"history,omitempty"`
+}
+
+type histJSON struct {
+	Iter      int       `json:"iter"`
+	Times     []float64 `json:"times_s"`
+	Speeds    []float64 `json:"speeds"`
+	Imbalance float64   `json:"imbalance"`
 }
 
 type statsJSON struct {
@@ -206,6 +217,12 @@ func Encode(meta Meta, snap *platform.RunSnapshot) ([]byte, error) {
 				return nil, fmt.Errorf("checkpoint: encoding node %d: %w", ns.ID, err)
 			}
 			rj.Nodes[j] = nodeJSON{ID: int(ns.ID), Owned: ns.Owned, LastCost: ns.LastCost, Type: codec.Name, Value: raw}
+		}
+		if len(rs.History) > 0 {
+			rj.History = make([]histJSON, len(rs.History))
+			for j, h := range rs.History {
+				rj.History[j] = histJSON{Iter: h.Iter, Times: h.Times, Speeds: h.Speeds, Imbalance: h.Imbalance}
+			}
 		}
 		f.Ranks[i] = rj
 	}
@@ -290,6 +307,21 @@ func Decode(data []byte) (Meta, *platform.RunSnapshot, error) {
 				return Meta{}, nil, fmt.Errorf("checkpoint: codec %q decoded node %d to nil", nj.Type, nj.ID)
 			}
 			rs.Nodes[j] = platform.NodeSnap{ID: graph.NodeID(nj.ID), Owned: nj.Owned, LastCost: nj.LastCost, Data: d}
+		}
+		if len(rj.History) > 0 {
+			rs.History = make([]platform.LoadSample, len(rj.History))
+			prevIter := 0
+			for j, h := range rj.History {
+				if h.Iter <= prevIter || h.Iter > f.Iter {
+					return Meta{}, nil, fmt.Errorf("checkpoint: rank %d history not ascending within (0,%d]", i, f.Iter)
+				}
+				prevIter = h.Iter
+				if len(h.Times) != f.Procs || len(h.Speeds) != f.Procs {
+					return Meta{}, nil, fmt.Errorf("checkpoint: rank %d history sample at iteration %d has %d times and %d speeds for %d procs",
+						i, h.Iter, len(h.Times), len(h.Speeds), f.Procs)
+				}
+				rs.History[j] = platform.LoadSample{Iter: h.Iter, Times: h.Times, Speeds: h.Speeds, Imbalance: h.Imbalance}
+			}
 		}
 		snap.Ranks[i] = rs
 	}

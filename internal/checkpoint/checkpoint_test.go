@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ic2mpi/internal/balance"
 	"ic2mpi/internal/graph"
 	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/platform"
@@ -104,6 +105,200 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if !bytes.Equal(buf.Bytes(), goldenTrace) {
 			t.Fatalf("resume from decoded snapshot at %d: trace differs", k)
 		}
+	}
+}
+
+// TestHistoryRoundTrip pins the `history` wire field added for
+// history-fed balancers: a run under the predictive balancer checkpoints
+// rank 0's balancing-history window, the encoding round-trips it
+// exactly, and a resume from the decoded snapshot reproduces the
+// uninterrupted run byte for byte. A run under a classic balancer must
+// not emit the field at all — that omission is what keeps every
+// pre-existing snapshot encoding byte-identical.
+func TestHistoryRoundTrip(t *testing.T) {
+	g, err := graph.HexGrid(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	part := make([]int, n)
+	for v := range part {
+		part[v] = v * 4 / n
+	}
+	mkCfg := func(b platform.Balancer) platform.Config {
+		return platform.Config{
+			Graph:            g,
+			Procs:            4,
+			InitialPartition: part,
+			InitData:         func(id graph.NodeID) platform.NodeData { return platform.IntData(int64(id) + 1) },
+			Node: func(id graph.NodeID, iter, _ int, self platform.NodeData, nbrs []platform.Neighbor) (platform.NodeData, float64) {
+				sum := int64(self.(platform.IntData))
+				for _, nb := range nbrs {
+					sum = sum*31 + int64(nb.Data.(platform.IntData))
+				}
+				// Skew work toward low node ids so balancing has something
+				// to plan about.
+				return platform.IntData(sum*7 + int64(iter)), 1e-4 * float64(1+int(id)%3)
+			},
+			Iterations:    8,
+			Network:       netmodel.NewUniform(netmodel.Origin2000()),
+			Balancer:      b,
+			BalanceEvery:  2,
+			BalanceRounds: 2,
+		}
+	}
+
+	cfg := mkCfg(&balance.Predictive{})
+	snaps := make(map[int]*platform.RunSnapshot)
+	run := cfg
+	var rec trace.Recorder
+	run.Trace = &rec
+	run.CheckpointEvery = 1
+	run.CheckpointSink = func(s *platform.RunSnapshot) error {
+		snaps[s.Iter] = s
+		return nil
+	}
+	golden, err := platform.Run(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldenTrace bytes.Buffer
+	if err := trace.WriteJSONL(&goldenTrace, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	withHistory := 0
+	for k, snap := range snaps {
+		if len(snap.Ranks[0].History) > 0 {
+			withHistory++
+		}
+		data, err := Encode(Meta{CellKey: "v1|history"}, snap)
+		if err != nil {
+			t.Fatalf("encode at %d: %v", k, err)
+		}
+		_, decoded, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode at %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(decoded, snap) {
+			t.Fatalf("snapshot at %d (history len %d) did not round-trip", k, len(snap.Ranks[0].History))
+		}
+		resumed := cfg
+		var rrec trace.Recorder
+		resumed.Trace = &rrec
+		resumed.ResumeFrom = decoded
+		res, err := platform.Run(resumed)
+		if err != nil {
+			t.Fatalf("resume from decoded snapshot at %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(res, golden) {
+			t.Fatalf("resume at %d: result differs from uninterrupted run", k)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, &rrec); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), goldenTrace.Bytes()) {
+			t.Fatalf("resume at %d: trace differs from uninterrupted run", k)
+		}
+	}
+	if withHistory == 0 {
+		t.Fatal("no snapshot carried balancing history; the round-trip proved nothing")
+	}
+
+	// Same workload under a classic balancer: the wire format must not
+	// mention history at all.
+	classic := mkCfg(&balance.Diffusion{})
+	var classicSnap *platform.RunSnapshot
+	classic.CheckpointEvery = 4
+	classic.CheckpointSink = func(s *platform.RunSnapshot) error {
+		classicSnap = s
+		return nil
+	}
+	if _, err := platform.Run(classic); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(Meta{CellKey: "v1|classic"}, classicSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"history"`)) {
+		t.Fatal("classic-balancer snapshot encodes a history field; pre-existing encodings are no longer byte-identical")
+	}
+}
+
+// TestDecodeRejectsMalformedHistory drives the history-specific
+// validation: out-of-order iterations, iterations beyond the snapshot
+// cut, and per-sample vectors of the wrong width must all be rejected.
+func TestDecodeRejectsMalformedHistory(t *testing.T) {
+	g, err := graph.HexGrid(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	part := make([]int, n)
+	for v := range part {
+		part[v] = v * 2 / n
+	}
+	var snap *platform.RunSnapshot
+	cfg := platform.Config{
+		Graph:            g,
+		Procs:            2,
+		InitialPartition: part,
+		InitData:         func(id graph.NodeID) platform.NodeData { return platform.IntData(int64(id)) },
+		Node: func(id graph.NodeID, iter, _ int, self platform.NodeData, nbrs []platform.Neighbor) (platform.NodeData, float64) {
+			return self, 1e-5 * float64(1+int(id)%2)
+		},
+		Iterations:      6,
+		Network:         netmodel.NewUniform(netmodel.Origin2000()),
+		Balancer:        &balance.Predictive{},
+		BalanceEvery:    2,
+		CheckpointEvery: 5,
+		CheckpointSink: func(s *platform.RunSnapshot) error {
+			snap = s
+			return nil
+		},
+	}
+	if _, err := platform.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || len(snap.Ranks[0].History) < 2 {
+		t.Fatalf("fixture snapshot lacks a multi-sample history window")
+	}
+	valid, err := Encode(Meta{CellKey: "k"}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(hist []any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m["ranks"].([]any)[0].(map[string]any)["history"].([]any))
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := map[string][]byte{
+		"descending iters":  mutate(func(h []any) { h[1].(map[string]any)["iter"] = h[0].(map[string]any)["iter"] }),
+		"iter past cut":     mutate(func(h []any) { h[len(h)-1].(map[string]any)["iter"] = 1 << 30 }),
+		"iter non-positive": mutate(func(h []any) { h[0].(map[string]any)["iter"] = 0 }),
+		"short times":       mutate(func(h []any) { s := h[0].(map[string]any); s["times_s"] = s["times_s"].([]any)[:1] }),
+		"short speeds":      mutate(func(h []any) { s := h[0].(map[string]any); s["speeds"] = s["speeds"].([]any)[:1] }),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := Decode(data); err == nil {
+				t.Fatalf("Decode accepted a snapshot with %s history", name)
+			}
+		})
+	}
+	if _, _, err := Decode(valid); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
 	}
 }
 

@@ -92,8 +92,11 @@ func TestDocSectionsRender(t *testing.T) {
 				// Most tables carry one row per swept processor count;
 				// tables over other axes declare their row count here.
 				want := len(Procs)
-				if s.ID == "table-brownout-recovery" {
+				switch s.ID {
+				case "table-brownout-recovery":
 					want = 9 // 3 scenarios x 3 balancers
+				case "table-balancer-tournament":
+					want = 36 // 2 networks x 3 perturbs x 6 balancers
 				}
 				rows := strings.Count(body, "\n| ")
 				if rows != want {

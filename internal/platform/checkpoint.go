@@ -52,6 +52,9 @@ type RankSnap struct {
 	Migrations int
 	// Nodes lists owned entries and held shadows, ascending by ID.
 	Nodes []NodeSnap
+	// History is rank 0's balancing-history window (see HistoryBalancer);
+	// empty on other ranks and for balancers that do not ask for history.
+	History []LoadSample
 }
 
 // RunSnapshot is the full state of a platform run at the end of iteration
@@ -179,6 +182,17 @@ func captureRankSnap(s *rankState, start float64) RankSnap {
 			}
 		}
 	}
+	if len(s.balHist) > 0 {
+		rs.History = make([]LoadSample, len(s.balHist))
+		for i, h := range s.balHist {
+			rs.History[i] = LoadSample{
+				Iter:      h.Iter,
+				Times:     append([]float64(nil), h.Times...),
+				Speeds:    append([]float64(nil), h.Speeds...),
+				Imbalance: h.Imbalance,
+			}
+		}
+	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	rs.Nodes = make([]NodeSnap, len(ids))
 	for i, id := range ids {
@@ -225,6 +239,17 @@ func validateResume(c *Config, snap *RunSnapshot) error {
 		}
 		if rs.Clock < 0 || rs.Start < 0 || rs.Start > rs.Clock {
 			return fmt.Errorf("platform: resume snapshot rank %d has inconsistent clocks (start %g, now %g)", r, rs.Start, rs.Clock)
+		}
+		prevIter := 0
+		for _, h := range rs.History {
+			if h.Iter <= prevIter || h.Iter > snap.Iter {
+				return fmt.Errorf("platform: resume snapshot rank %d history not ascending within (0,%d]", r, snap.Iter)
+			}
+			prevIter = h.Iter
+			if len(h.Times) != c.Procs || len(h.Speeds) != c.Procs {
+				return fmt.Errorf("platform: resume snapshot rank %d history sample at iteration %d sized for %d/%d procs, want %d",
+					r, h.Iter, len(h.Times), len(h.Speeds), c.Procs)
+			}
 		}
 		prev := graph.NodeID(-1)
 		for _, ns := range rs.Nodes {
@@ -312,6 +337,14 @@ func restoreRankState(cfg *Config, comm *mpi.Comm, snap *RunSnapshot) (*rankStat
 	s.phase = rs.Phase
 	s.workTime = rs.WorkTime
 	s.migrations = rs.Migrations
+	for _, h := range rs.History {
+		s.balHist = append(s.balHist, LoadSample{
+			Iter:      h.Iter,
+			Times:     append([]float64(nil), h.Times...),
+			Speeds:    append([]float64(nil), h.Speeds...),
+			Imbalance: h.Imbalance,
+		})
+	}
 	if err := s.checkInvariants(); err != nil {
 		return nil, fmt.Errorf("platform: resume snapshot failed invariants: %w", err)
 	}

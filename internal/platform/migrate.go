@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ic2mpi/internal/graph"
+	"ic2mpi/internal/netmodel"
 	"ic2mpi/internal/trace"
 )
 
@@ -44,6 +45,9 @@ func (s *rankState) loadBalance(iter int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if _, wantHist := s.cfg.Balancer.(HistoryBalancer); wantHist && s.me == 0 {
+		s.recordLoadSample(iter, times)
+	}
 	rounds := s.cfg.BalanceRounds
 	if rounds < 1 {
 		rounds = 1
@@ -61,6 +65,50 @@ func (s *rankState) loadBalance(iter int) (int, error) {
 	}
 	s.migrations += total
 	return total, nil
+}
+
+// historyWindow bounds rank 0's balancing-history ring: enough samples
+// for an exponentially-weighted forecast to converge, small enough that
+// snapshots stay compact.
+const historyWindow = 16
+
+// recordLoadSample appends one LoadSample to rank 0's bounded history
+// window. Everything recorded is state rank 0 already holds at the
+// balancing collective — the gathered compute times plus the pure
+// (epoch, rank) speed queries of the interconnect model — so recording
+// charges no virtual time and sends no messages: the timeline is
+// identical whether or not the balancer asks for history.
+func (s *rankState) recordLoadSample(iter int, times []float64) {
+	speeds := make([]float64, s.cfg.Procs)
+	if tv, ok := s.cfg.Network.(netmodel.TimeVarying); ok {
+		for r := range speeds {
+			speeds[r] = tv.SpeedAt(iter, r)
+		}
+	} else {
+		for r := range speeds {
+			speeds[r] = s.cfg.Network.Speed(r)
+		}
+	}
+	sum, max := 0.0, 0.0
+	for _, t := range times {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	imb := 0.0
+	if sum > 0 {
+		imb = max / (sum / float64(len(times)))
+	}
+	s.balHist = append(s.balHist, LoadSample{
+		Iter:      iter,
+		Times:     append([]float64(nil), times...),
+		Speeds:    speeds,
+		Imbalance: imb,
+	})
+	if n := len(s.balHist); n > historyWindow {
+		s.balHist = append(s.balHist[:0], s.balHist[n-historyWindow:]...)
+	}
 }
 
 // balanceRound runs one plan+migrate round. times is rank 0's (estimated)
@@ -89,7 +137,13 @@ func (s *rankState) balanceRound(iter int, times *[]float64) (int, error) {
 				}
 			}
 		}
-		pairs := s.cfg.Balancer.Plan(ProcGraph{Times: append([]float64(nil), (*times)...), Comm: comm})
+		pg := ProcGraph{Times: append([]float64(nil), (*times)...), Comm: comm}
+		var pairs []Pair
+		if hb, ok := s.cfg.Balancer.(HistoryBalancer); ok {
+			pairs = hb.PlanWithHistory(pg, s.balHist)
+		} else {
+			pairs = s.cfg.Balancer.Plan(pg)
+		}
 		if err := validatePlan(pairs, s.cfg.Procs); err != nil {
 			// A misbehaving third-party balancer must not corrupt the
 			// platform; broadcast an empty plan and surface the error.

@@ -93,6 +93,14 @@ type rankState struct {
 	// deterministic clocks.
 	workTime float64
 
+	// balHist is the bounded window of balancing-invocation load records
+	// handed to history-aware balancers (see HistoryBalancer). Populated on
+	// rank 0 only, and only when the configured balancer asks for history,
+	// so runs with the classic balancers carry no extra state. Part of the
+	// checkpointed rank state: a resumed run forecasts from exactly the
+	// window the uninterrupted run would hold.
+	balHist []LoadSample
+
 	migrations int
 }
 

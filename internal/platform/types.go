@@ -84,6 +84,47 @@ type Balancer interface {
 	Plan(pg ProcGraph) []Pair
 }
 
+// LoadSample is one balancing invocation's load record: the per-processor
+// compute times rank 0 gathered for the balancer, the processors'
+// effective speed factors at that iteration, and the derived imbalance
+// (max/mean, the same statistic internal/trace reports). The platform
+// captures samples from state it already holds at the balancing
+// collective — no extra communication — so recording history never moves
+// the virtual clock and traced, checkpointed and plain runs stay
+// byte-identical.
+type LoadSample struct {
+	// Iter is the iteration the balancing invocation ran at (1-based).
+	Iter int
+	// Times[p] is processor p's compute time over the preceding window.
+	Times []float64
+	// Speeds[p] is processor p's execution-time multiplier at Iter (1 on
+	// homogeneous machines; >1 means slower under fault injection).
+	Speeds []float64
+	// Imbalance is max(Times)/mean(Times), or 0 when the window did no
+	// compute.
+	Imbalance float64
+}
+
+// HistoryBalancer is an optional Balancer extension: implementations
+// receive the run's recent balancing history alongside the processor
+// graph. The platform keeps a bounded window (most recent last) on rank 0
+// and passes it read-only — implementations must not retain or mutate the
+// slice. Plans must remain a pure function of (pg, hist) so the kernel
+// equivalence and checkpoint-resume properties hold.
+type HistoryBalancer interface {
+	Balancer
+	PlanWithHistory(pg ProcGraph, hist []LoadSample) []Pair
+}
+
+// ValidatingBalancer is an optional Balancer extension: Validate reports
+// a configuration error (an explicitly invalid threshold or tolerance)
+// before the run starts. Config.normalize calls it so a misconfigured
+// balancer fails loudly at construction instead of silently falling back
+// to package defaults mid-run.
+type ValidatingBalancer interface {
+	Validate() error
+}
+
 // Phase identifies one of the six platform phases whose overheads Figures
 // 21 and 22 break down.
 type Phase int
@@ -339,6 +380,11 @@ func (c *Config) normalize() (*Config, error) {
 	}
 	if err := out.Network.Validate(out.Procs); err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
+	}
+	if v, ok := out.Balancer.(ValidatingBalancer); ok {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("platform: invalid balancer %q: %w", out.Balancer.Name(), err)
+		}
 	}
 	return &out, nil
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ic2mpi/internal/balance"
 	"ic2mpi/internal/fault"
@@ -303,7 +304,7 @@ func (sc Scenario) Config(p Params) (*platform.Config, error) {
 			return nil, err
 		}
 	}
-	bal, err := NewBalancer(p.Balancer)
+	bal, err := NewBalancerOn(p.Balancer, p.Network, p.Procs)
 	if err != nil {
 		return nil, err
 	}
@@ -446,12 +447,22 @@ func knownName(name string, known []string) bool {
 
 // Balancers returns the accepted Params.Balancer names.
 func Balancers() []string {
-	return []string{"none", "centralized", "centralized-strict", "diffusion"}
+	return []string{"none", "centralized", "centralized-strict", "diffusion", "worksteal", "hierarchical", "predictive"}
 }
 
 // NewBalancer resolves a Params.Balancer name to a platform balancer; the
 // name "none" (and "") resolves to nil, disabling dynamic balancing.
+// Topology-aware balancers get the topology-agnostic default shape; use
+// NewBalancerOn to derive their structure from the run's interconnect.
 func NewBalancer(name string) (platform.Balancer, error) {
+	return NewBalancerOn(name, "", 0)
+}
+
+// NewBalancerOn resolves a Params.Balancer name with the run's
+// interconnect in view: the hierarchical balancer's cluster map is
+// derived from the named network's topology (see ClustersFor). network ""
+// or procs <= 0 keep the topology-agnostic defaults.
+func NewBalancerOn(name, network string, procs int) (platform.Balancer, error) {
 	switch name {
 	case "", "none":
 		return nil, nil
@@ -461,7 +472,62 @@ func NewBalancer(name string) (platform.Balancer, error) {
 		return &balance.CentralizedHeuristic{StrictAllNeighbors: true}, nil
 	case "diffusion":
 		return &balance.Diffusion{}, nil
+	case "worksteal":
+		return &balance.WorkStealing{}, nil
+	case "hierarchical":
+		var clusters []int
+		if network != "" && procs > 0 {
+			clusters = ClustersFor(network, procs)
+		}
+		return &balance.Hierarchical{Clusters: clusters}, nil
+	case "predictive":
+		return &balance.Predictive{}, nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown balancer %q (known: %v)", name, Balancers())
 	}
+}
+
+// ClustersFor derives the hierarchical balancer's cluster map from a
+// named interconnect: fat-tree leaves group into pods, the heterogeneous
+// grid splits into its fast and slow islands, the 2-D mesh into its four
+// quadrants, and the hypercube into half-dimension subcubes. Unknown or
+// structureless networks (uniform) fall back to contiguous rank blocks.
+// The map is pure data — a function of (network, procs) only — so runs
+// remain deterministic.
+func ClustersFor(network string, procs int) []int {
+	if procs < 1 {
+		return nil
+	}
+	out := make([]int, procs)
+	switch network {
+	case netmodel.NameFatTree:
+		for r := range out {
+			out[r] = r / netmodel.DefaultFatTreeArity
+		}
+	case netmodel.NameHetGrid:
+		half := procs / 2
+		for r := range out {
+			if half > 0 && r >= half {
+				out[r] = 1
+			}
+		}
+	case netmodel.NameMesh2D:
+		rows, cols, err := topology.Dims(procs)
+		if err != nil {
+			return balance.BlockClusters(procs)
+		}
+		halfR, halfC := (rows+1)/2, (cols+1)/2
+		for r := range out {
+			out[r] = (r/cols/halfR)*2 + (r%cols)/halfC
+		}
+	case netmodel.NameHypercube:
+		dims := bits.Len(uint(procs - 1))
+		low := (dims + 1) / 2
+		for r := range out {
+			out[r] = r >> low
+		}
+	default:
+		return balance.BlockClusters(procs)
+	}
+	return out
 }

@@ -90,7 +90,7 @@ func TestInvariantRandomizedSweep(t *testing.T) {
 	scenarios := []string{"heat", "hex32-fine", "hex64-coarse", "imbalance", "life"}
 	networks := []string{"uniform", "hypercube", "mesh2d", "fattree", "hetgrid"}
 	perturbs := []string{"none", "brownout", "brownout@3", "links", "ramp", "chaos", "chaos@5"}
-	balancers := []string{"none", "centralized", "diffusion"}
+	balancers := []string{"none", "centralized", "diffusion", "worksteal", "hierarchical", "predictive"}
 	procChoices := []int{2, 4, 8}
 
 	const trials = 16
@@ -101,6 +101,10 @@ func TestInvariantRandomizedSweep(t *testing.T) {
 			Perturb:    perturbs[rng.Intn(len(perturbs))],
 			Balancer:   balancers[rng.Intn(len(balancers))],
 			Iterations: 6 + rng.Intn(9),
+			// A short balancing period so every drawn balancer — including
+			// the history-fed predictive one — actually plans within the
+			// trial's iteration budget.
+			BalanceEvery: 3,
 		}
 		name := scenarios[rng.Intn(len(scenarios))]
 		label := fmt.Sprintf("trial %d: %s procs=%d net=%s perturb=%s bal=%s iters=%d",
@@ -158,7 +162,7 @@ func TestInvariantResumeEquivalence(t *testing.T) {
 	scenarios := []string{"heat", "hex32-fine", "hex64-coarse", "imbalance", "life"}
 	networks := []string{"uniform", "hypercube", "mesh2d", "fattree", "hetgrid"}
 	perturbs := []string{"none", "brownout", "brownout@3", "links", "ramp", "chaos"}
-	balancers := []string{"none", "centralized", "diffusion"}
+	balancers := []string{"none", "centralized", "diffusion", "worksteal", "hierarchical", "predictive"}
 	kernels := []string{"goroutine", "event", "pevent"}
 	procChoices := []int{1, 2, 4, 8}
 
@@ -171,6 +175,10 @@ func TestInvariantResumeEquivalence(t *testing.T) {
 			Balancer:   balancers[rng.Intn(len(balancers))],
 			Kernel:     kernels[rng.Intn(len(kernels))],
 			Iterations: 4 + rng.Intn(5),
+			// A short balancing period so snapshots cut after balancing
+			// invocations — including the predictive balancer's history
+			// window, which must round-trip the wire format exactly.
+			BalanceEvery: 2,
 		}
 		if p.Kernel == "pevent" {
 			// Worker count is a host-side knob; draw one anyway so resume
